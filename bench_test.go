@@ -1,0 +1,542 @@
+package torhs
+
+// One benchmark per table/figure of the paper (see DESIGN.md §4), plus
+// the ablation benches for the design choices DESIGN.md §5 calls out.
+// Run with: go test -bench=. -benchmem
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"torhs/internal/core/content"
+	"torhs/internal/core/deanon"
+	"torhs/internal/core/popularity"
+	"torhs/internal/core/scan"
+	"torhs/internal/core/tracking"
+	"torhs/internal/core/webcrawl"
+	"torhs/internal/corpus"
+	"torhs/internal/darknet"
+	"torhs/internal/experiments"
+	"torhs/internal/geo"
+	"torhs/internal/hsdir"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/relaynet"
+	"torhs/internal/simnet"
+	"torhs/internal/textclass"
+)
+
+// benchEnv caches the expensive shared fixtures across benchmarks.
+type benchEnv struct {
+	pop    *hspop.Population
+	fabric *darknet.Fabric
+	addrs  []onion.Address
+	geoDB  *geo.DB
+
+	scanRes *scan.Result
+	crawler *content.Crawler
+	dests   []content.Destination
+
+	scenario *tracking.Scenario
+}
+
+var (
+	envOnce sync.Once
+	env     *benchEnv
+)
+
+func benchSetup(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		popCfg := hspop.PaperConfig(1)
+		popCfg.Scale = 0.05
+		pop, err := hspop.Generate(popCfg)
+		if err != nil {
+			panic(err)
+		}
+		fabric := darknet.New(pop)
+		addrs := make([]onion.Address, 0, pop.Len())
+		for _, s := range pop.Services {
+			addrs = append(addrs, s.Address)
+		}
+		db, err := geo.NewDB(geo.DefaultBotnetMix())
+		if err != nil {
+			panic(err)
+		}
+
+		sc, err := scan.New(fabric, scan.DefaultConfig(1))
+		if err != nil {
+			panic(err)
+		}
+		scanRes := sc.ScanAll(addrs)
+
+		crawler, err := content.New(fabric, content.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+
+		scenario, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(1))
+		if err != nil {
+			panic(err)
+		}
+
+		env = &benchEnv{
+			pop:      pop,
+			fabric:   fabric,
+			addrs:    addrs,
+			geoDB:    db,
+			scanRes:  scanRes,
+			crawler:  crawler,
+			dests:    content.DestinationsFromPorts(scanRes.PerAddress),
+			scenario: scenario,
+		}
+	})
+	return env
+}
+
+// BenchmarkFig1PortScan regenerates the Fig. 1 open-ports distribution
+// (E1): a full multi-day scan campaign over the collected addresses.
+func BenchmarkFig1PortScan(b *testing.B) {
+	e := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := scan.New(e.fabric, scan.DefaultConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sc.ScanAll(e.addrs)
+		if res.TotalOpenPorts == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkHTTPSCertAudit regenerates the Section III certificate audit
+// (E2).
+func BenchmarkHTTPSCertAudit(b *testing.B) {
+	e := benchSetup(b)
+	sc, err := scan.New(e.fabric, scan.DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		audit := sc.AuditCertificates(e.scanRes)
+		if audit.HTTPSServices == 0 {
+			b.Fatal("empty audit")
+		}
+	}
+}
+
+// BenchmarkTable1Crawl regenerates Table I plus the Fig. 2 topic and
+// language distributions (E3–E5): the full crawl/filter/classify
+// pipeline.
+func BenchmarkTable1Crawl(b *testing.B) {
+	e := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.crawler.Crawl(e.dests)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Classified == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+// BenchmarkLanguageDetect measures the language-identification hot path
+// (E4).
+func BenchmarkLanguageDetect(b *testing.B) {
+	det, err := textclass.TrainLanguageDetector(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	texts := make([]string, 64)
+	langs := corpus.Languages()
+	for i := range texts {
+		texts[i], err = corpus.SampleText(rng, langs[i%len(langs)], 120, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := det.Detect(texts[i%len(texts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Topics measures topic classification (E5).
+func BenchmarkFig2Topics(b *testing.B) {
+	cls, err := textclass.TrainTopicClassifier()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	texts := make([]string, 64)
+	topics := corpus.AllTopics()
+	for i := range texts {
+		kw, err := corpus.TopicKeywords(topics[i%len(topics)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		texts[i], err = corpus.SampleText(rng, corpus.LangEnglish, 150, kw, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cls.Classify(texts[i%len(texts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// table2Fixture builds the request log + index inputs for the Table II
+// resolution bench once.
+type table2Fixture struct {
+	counts   map[onion.DescriptorID]int
+	services map[onion.Address]onion.PermanentID
+	from, to time.Time
+}
+
+var (
+	t2Once sync.Once
+	t2     *table2Fixture
+)
+
+func table2Setup(b *testing.B) *table2Fixture {
+	b.Helper()
+	e := benchSetup(b)
+	t2Once.Do(func() {
+		rng := rand.New(rand.NewSource(4))
+		from := time.Date(2013, 1, 28, 0, 0, 0, 0, time.UTC)
+		to := time.Date(2013, 2, 8, 0, 0, 0, 0, time.UTC)
+		services := make(map[onion.Address]onion.PermanentID)
+		counts := make(map[onion.DescriptorID]int)
+		for _, svc := range e.pop.WithDescriptor() {
+			services[svc.Address] = svc.PermID
+			if svc.ExpectedRequests > 0 {
+				at := from.Add(time.Duration(rng.Intn(10*24)) * time.Hour)
+				ids := onion.DescriptorIDs(svc.PermID, at)
+				counts[ids[rng.Intn(len(ids))]] = int(svc.ExpectedRequests)
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			f := onion.RandomFingerprint(rng)
+			var id onion.DescriptorID
+			copy(id[:], f[:])
+			counts[id] = 1 + rng.Intn(40)
+		}
+		t2 = &table2Fixture{counts: counts, services: services, from: from, to: to}
+	})
+	return t2
+}
+
+// BenchmarkTable2Popularity regenerates the Table II ranking (E6):
+// build the descriptor-ID index over the resolution window, resolve the
+// request log, rank.
+func BenchmarkTable2Popularity(b *testing.B) {
+	fx := table2Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := popularity.BuildIndex(fx.services, fx.from, fx.to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := popularity.Resolve(fx.counts, ix)
+		ranking := popularity.Rank(res, nil)
+		if len(ranking) == 0 {
+			b.Fatal("empty ranking")
+		}
+	}
+}
+
+// BenchmarkFig3Deanon regenerates the Fig. 3 client map (E7): drive one
+// two-hour traffic window with the signature attack armed.
+func BenchmarkFig3Deanon(b *testing.B) {
+	e := benchSetup(b)
+	fleet := relaynet.DefaultFleetConfig(5)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := h.All()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := simnet.DefaultConfig(int64(i))
+		cfg.Clients = 500
+		net, err := simnet.NewNetwork(doc, e.geoDB, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now := doc.ValidAfter
+		net.PublishAll(e.pop, now)
+		rep, err := deanon.Run(net, e.pop, e.pop.Services[0], now, deanon.DefaultConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.SignaturesSent == 0 {
+			b.Fatal("no signatures")
+		}
+	}
+}
+
+// BenchmarkTrackingDetection regenerates the Section VII analysis (E8)
+// over the prebuilt scenario history.
+func BenchmarkTrackingDetection(b *testing.B) {
+	e := benchSetup(b)
+	an, err := tracking.NewAnalyzer(tracking.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := e.scenario.Start
+	to := from.Add(365 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := an.Analyze(e.scenario.History, e.scenario.Target, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Suspicious) == 0 {
+			b.Fatal("no detections")
+		}
+	}
+}
+
+// BenchmarkTrackingScenarioBuild measures building the consensus-history
+// scenario itself (the E8 workload generator).
+func BenchmarkTrackingScenarioBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sc.History.Len() == 0 {
+			b.Fatal("empty history")
+		}
+	}
+}
+
+// BenchmarkFullStudy runs every experiment end-to-end at reduced scale.
+func BenchmarkFullStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultConfig(int64(i))
+		cfg.Scale = 0.02
+		cfg.Clients = 300
+		cfg.TrawlIPs = 15
+		cfg.TrawlSteps = 4
+		cfg.Relays = 300
+		study, err := experiments.NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := study.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectionCrawlBaseline measures the Hidden-Wiki link-crawl
+// baseline (E0): BFS over the sparse onion link graph.
+func BenchmarkCollectionCrawlBaseline(b *testing.B) {
+	e := benchSetup(b)
+	wc, err := webcrawl.New(e.fabric, webcrawl.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seeds []onion.Address
+	for _, svc := range e.pop.Services {
+		switch svc.Label {
+		case "TorDir", "Onion Bookmarks", "SilkRoad(wiki)", "Tor Host":
+			seeds = append(seeds, svc.Address)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := wc.Crawl(seeds)
+		if len(res.Discovered) == 0 {
+			b.Fatal("empty crawl")
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+// BenchmarkTrackingNoDistanceRule disables the distance-ratio rule (by
+// pushing its thresholds out of reach), quantifying the cost/benefit of
+// the rule the paper calls the most reliable signal.
+func BenchmarkTrackingNoDistanceRule(b *testing.B) {
+	e := benchSetup(b)
+	cfg := tracking.DefaultConfig()
+	cfg.RatioSuspicious = 1e18
+	cfg.RatioStrong = 1e19
+	an, err := tracking.NewAnalyzer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := e.scenario.Start
+	to := from.Add(365 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Analyze(e.scenario.History, e.scenario.Target, from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ringFixture(n int) (*hsdir.Ring, []onion.DescriptorID) {
+	rng := rand.New(rand.NewSource(7))
+	fps := make([]onion.Fingerprint, n)
+	for i := range fps {
+		fps[i] = onion.RandomFingerprint(rng)
+	}
+	ids := make([]onion.DescriptorID, 256)
+	for i := range ids {
+		f := onion.RandomFingerprint(rng)
+		copy(ids[i][:], f[:])
+	}
+	return hsdir.NewRing(fps), ids
+}
+
+// BenchmarkRingLookupBinary: responsible-HSDir selection via binary
+// search (the implementation used everywhere).
+func BenchmarkRingLookupBinary(b *testing.B) {
+	ring, ids := ringFixture(1400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ring.Responsible(ids[i%len(ids)], 3); len(got) != 3 {
+			b.Fatal("bad lookup")
+		}
+	}
+}
+
+// BenchmarkRingLookupLinear: the O(n) scan baseline.
+func BenchmarkRingLookupLinear(b *testing.B) {
+	ring, ids := ringFixture(1400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ring.ResponsibleLinear(ids[i%len(ids)], 3); len(got) != 3 {
+			b.Fatal("bad lookup")
+		}
+	}
+}
+
+// resolveFixture builds a small resolution problem where the brute-force
+// baseline is still tractable.
+func resolveFixture() (map[onion.DescriptorID]int, map[onion.Address]onion.PermanentID, time.Time, time.Time) {
+	rng := rand.New(rand.NewSource(8))
+	from := time.Date(2013, 1, 28, 0, 0, 0, 0, time.UTC)
+	to := from.Add(11 * 24 * time.Hour)
+	services := make(map[onion.Address]onion.PermanentID, 100)
+	counts := make(map[onion.DescriptorID]int, 150)
+	for i := 0; i < 100; i++ {
+		k := onion.GenerateKey(rng)
+		services[onion.AddressFromKey(k)] = k.PermanentID()
+		at := from.Add(time.Duration(rng.Intn(10*24)) * time.Hour)
+		counts[onion.ComputeDescriptorID(k.PermanentID(), at, 0)] = 1 + rng.Intn(100)
+	}
+	for i := 0; i < 50; i++ {
+		f := onion.RandomFingerprint(rng)
+		var id onion.DescriptorID
+		copy(id[:], f[:])
+		counts[id] = 1
+	}
+	return counts, services, from, to
+}
+
+// BenchmarkResolveIndexed: descriptor-ID resolution via the prebuilt
+// index.
+func BenchmarkResolveIndexed(b *testing.B) {
+	counts, services, from, to := resolveFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := popularity.BuildIndex(services, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := popularity.Resolve(counts, ix); res.ResolvedIDs == 0 {
+			b.Fatal("nothing resolved")
+		}
+	}
+}
+
+// BenchmarkResolveBruteForce: per-ID re-derivation over every service and
+// day.
+func BenchmarkResolveBruteForce(b *testing.B) {
+	counts, services, from, to := resolveFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := popularity.ResolveBruteForce(counts, services, from, to); res.ResolvedIDs == 0 {
+			b.Fatal("nothing resolved")
+		}
+	}
+}
+
+// BenchmarkLangNGramOrder sweeps the language detector's n-gram order
+// (accuracy/cost trade-off).
+func BenchmarkLangNGramOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	text, err := corpus.SampleText(rng, corpus.LangGerman, 120, nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, order := range []int{1, 2, 3} {
+		det, err := textclass.TrainLanguageDetector(order)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(map[int]string{1: "order1", 2: "order2", 3: "order3"}[order], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := det.Detect(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Microbenches on the protocol hot paths ----
+
+// BenchmarkDescriptorID measures the rend-spec-v2 descriptor-ID
+// derivation.
+func BenchmarkDescriptorID(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	id := onion.GenerateKey(rng).PermanentID()
+	at := time.Date(2013, 2, 4, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = onion.ComputeDescriptorID(id, at, uint8(i&1))
+	}
+}
+
+// BenchmarkConsensusPublish measures one authority voting round over a
+// realistic relay population.
+func BenchmarkConsensusPublish(b *testing.B) {
+	fleet := relaynet.DefaultFleetConfig(11)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := fleet.Start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := sim.Authority().Publish(now)
+		if len(doc.Entries) == 0 {
+			b.Fatal("empty consensus")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command hsstudy runs the full measurement study end-to-end: it
+// generates a calibrated synthetic hidden-service landscape and
+// regenerates every table and figure of the paper (Fig. 1, certificate
+// audit, Table I, language mix, Fig. 2, Table II, Fig. 3, Section VII
+// tracking detection).
+//
+// Usage:
+//
+//	hsstudy [-seed N] [-scale F] [-clients N] [-experiment NAME]
+//
+// Experiments: all (default), scan, content, popularity, deanon,
+// tracking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"torhs/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed       = flag.Int64("seed", 42, "random seed for the whole study")
+		scale      = flag.Float64("scale", 0.05, "population scale (1.0 = the paper's 39,824 services)")
+		clients    = flag.Int("clients", 1500, "simulated client population")
+		trawlIPs   = flag.Int("trawl-ips", 30, "trawling fleet IP addresses")
+		trawlSteps = flag.Int("trawl-steps", 8, "trawling rotation steps")
+		relays     = flag.Int("relays", 350, "honest relay network size")
+		experiment = flag.String("experiment", "all", "experiment to run: all|collection|scan|content|popularity|deanon|service-deanon|tracking")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:       *seed,
+		Scale:      *scale,
+		Clients:    *clients,
+		TrawlIPs:   *trawlIPs,
+		TrawlSteps: *trawlSteps,
+		Relays:     *relays,
+	}
+	study, err := experiments.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	switch *experiment {
+	case "all":
+		return study.RunAll(w)
+	case "collection":
+		c, err := study.RunCollectionComparison()
+		if err != nil {
+			return err
+		}
+		experiments.RenderCollectionComparison(w, c)
+	case "scan":
+		res, audit, err := study.RunScan()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig1(w, res)
+		experiments.RenderCertAudit(w, audit)
+	case "content":
+		scanRes, _, err := study.RunScan()
+		if err != nil {
+			return err
+		}
+		res, err := study.RunContent(scanRes)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableI(w, res)
+		experiments.RenderLanguages(w, res)
+		experiments.RenderFig2(w, res)
+	case "popularity":
+		res, err := study.RunPopularity()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTableII(w, res, 30)
+	case "deanon":
+		rep, err := study.RunDeanon()
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig3(w, rep)
+	case "service-deanon":
+		rep, err := study.RunServiceDeanon()
+		if err != nil {
+			return err
+		}
+		experiments.RenderServiceDeanon(w, rep)
+	case "tracking":
+		res, err := study.RunTracking()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTracking(w, res)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

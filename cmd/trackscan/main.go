@@ -1,0 +1,177 @@
+// Command trackscan runs the Section VII tracking detector. In demo mode
+// (default) it builds the Silk Road scenario — a consensus history with
+// three planted tracking episodes — analyses it, and prints the report.
+// With -archive it instead loads consensus documents from a directory
+// (one file per consensus, in the codec format of internal/consensus) and
+// analyses an arbitrary target onion address.
+//
+// Usage:
+//
+//	trackscan [-seed N] [-save DIR]
+//	trackscan -archive DIR -target ONIONADDR [-from RFC3339 -to RFC3339]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"torhs/internal/consensus"
+	"torhs/internal/core/tracking"
+	"torhs/internal/experiments"
+	"torhs/internal/onion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trackscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 42, "random seed (demo mode)")
+		saveDir = flag.String("save", "", "save the demo consensus history to this directory")
+		archive = flag.String("archive", "", "load consensus documents from this directory instead of demo mode")
+		target  = flag.String("target", "", "target onion address (archive mode)")
+		fromStr = flag.String("from", "", "analysis window start, RFC3339 (archive mode; default: full archive)")
+		toStr   = flag.String("to", "", "analysis window end, RFC3339 (archive mode)")
+		csvPath = flag.String("csv", "", "also write the per-relay analysis as CSV to this file")
+	)
+	flag.Parse()
+
+	if *archive != "" {
+		return runArchive(*archive, *target, *fromStr, *toStr, *csvPath)
+	}
+	return runDemo(*seed, *saveDir, *csvPath)
+}
+
+func writeCSV(path string, rep *tracking.Report) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runDemo(seed int64, saveDir, csvPath string) error {
+	sc, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(seed))
+	if err != nil {
+		return err
+	}
+	an, err := tracking.NewAnalyzer(tracking.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, sc.Start.Add(3650*24*time.Hour))
+	if err != nil {
+		return err
+	}
+	experiments.RenderTracking(os.Stdout, &experiments.TrackingResult{Scenario: sc, Report: rep})
+
+	if saveDir != "" {
+		if err := saveHistory(saveDir, sc.History); err != nil {
+			return err
+		}
+		fmt.Printf("history saved to %s (target %s)\n", saveDir, sc.TargetAddress.String())
+	}
+	return writeCSV(csvPath, rep)
+}
+
+func saveHistory(dir string, h *consensus.History) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, doc := range h.All() {
+		path := filepath.Join(dir, fmt.Sprintf("consensus-%04d.txt", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := doc.Marshal(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runArchive(dir, target, fromStr, toStr, csvPath string) error {
+	if target == "" {
+		return fmt.Errorf("archive mode requires -target")
+	}
+	_, permID, err := onion.ParseAddress(target)
+	if err != nil {
+		return fmt.Errorf("parse target: %w", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	h := consensus.NewHistory()
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		doc, err := consensus.Unmarshal(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", name, err)
+		}
+		if err := h.Append(doc); err != nil {
+			return fmt.Errorf("append %s: %w", name, err)
+		}
+	}
+	if h.Len() == 0 {
+		return fmt.Errorf("no consensus documents in %s", dir)
+	}
+
+	from := h.All()[0].ValidAfter
+	to := h.All()[h.Len()-1].ValidAfter
+	if fromStr != "" {
+		if from, err = time.Parse(time.RFC3339, fromStr); err != nil {
+			return fmt.Errorf("parse -from: %w", err)
+		}
+	}
+	if toStr != "" {
+		if to, err = time.Parse(time.RFC3339, toStr); err != nil {
+			return fmt.Errorf("parse -to: %w", err)
+		}
+	}
+
+	an, err := tracking.NewAnalyzer(tracking.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rep, err := an.Analyze(h, permID, from, to)
+	if err != nil {
+		return err
+	}
+	sc := &tracking.Scenario{Target: permID, TargetAddress: onion.AddressFromID(permID), History: h}
+	experiments.RenderTracking(os.Stdout, &experiments.TrackingResult{Scenario: sc, Report: rep})
+	return writeCSV(csvPath, rep)
+}

@@ -1,0 +1,33 @@
+// Quickstart: generate a calibrated hidden-service landscape and
+// regenerate every table and figure of the paper in one call.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"torhs"
+)
+
+func main() {
+	// A smaller-than-default scale keeps the quickstart under a few
+	// seconds; shapes (who wins, by what factor) are scale-invariant.
+	cfg := torhs.DefaultStudyConfig(42)
+	cfg.Scale = 0.03
+	cfg.Clients = 500
+	cfg.TrawlIPs = 20
+	cfg.TrawlSteps = 5
+	cfg.Relays = 300
+
+	study, err := torhs.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+	if err := study.RunAll(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}

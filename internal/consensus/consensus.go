@@ -1,0 +1,267 @@
+// Package consensus models Tor's directory authorities: monitoring
+// self-advertised relays, enforcing the two-relays-per-IP consensus rule,
+// assigning flags (Fast, Stable, Guard, HSDir), and publishing periodic
+// consensus documents into a queryable history archive.
+//
+// Two behaviours matter for the paper:
+//
+//  1. Only the two highest-bandwidth relays per IP address enter the
+//     consensus ("active" relays); the rest ("shadow" relays) keep running
+//     and keep accruing uptime, so their flags reflect their *real* run
+//     time the moment they become active. This is the flaw behind the
+//     trawling collection (Section II-A).
+//  2. The HSDir flag requires ≥ 25 hours of continuous uptime, which both
+//     enables the attack and provides the "became HSDir exactly 25 hours
+//     after appearing" tracking-detection signal (Section VII).
+package consensus
+
+import (
+	"sort"
+	"time"
+
+	"torhs/internal/onion"
+	"torhs/internal/relay"
+)
+
+// Flag is a consensus relay flag bitmask.
+type Flag uint8
+
+// Relay flags assigned by the authority.
+const (
+	FlagRunning Flag = 1 << iota
+	FlagFast
+	FlagStable
+	FlagGuard
+	FlagHSDir
+)
+
+// Has reports whether all bits in want are set.
+func (f Flag) Has(want Flag) bool { return f&want == want }
+
+// String renders the flags in consensus-document order.
+func (f Flag) String() string {
+	out := ""
+	add := func(s string) {
+		if out != "" {
+			out += " "
+		}
+		out += s
+	}
+	if f.Has(FlagFast) {
+		add("Fast")
+	}
+	if f.Has(FlagGuard) {
+		add("Guard")
+	}
+	if f.Has(FlagHSDir) {
+		add("HSDir")
+	}
+	if f.Has(FlagRunning) {
+		add("Running")
+	}
+	if f.Has(FlagStable) {
+		add("Stable")
+	}
+	return out
+}
+
+// Entry is one relay line in a consensus document.
+type Entry struct {
+	Fingerprint onion.Fingerprint
+	RelayID     relay.ID
+	Nickname    string
+	IP          string
+	ORPort      int
+	Bandwidth   int
+	Flags       Flag
+	// Uptime is the authority-observed continuous uptime at publication.
+	Uptime time.Duration
+}
+
+// Document is a published consensus: the authority's view of the network
+// at ValidAfter, entries sorted by fingerprint.
+type Document struct {
+	ValidAfter time.Time
+	Entries    []Entry
+}
+
+// HSDirs returns the fingerprints of all entries carrying the HSDir flag,
+// in ring (sorted) order. This is the input to responsible-directory
+// selection.
+func (d *Document) HSDirs() []onion.Fingerprint {
+	out := make([]onion.Fingerprint, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		if e.Flags.Has(FlagHSDir) {
+			out = append(out, e.Fingerprint)
+		}
+	}
+	return out
+}
+
+// Guards returns the fingerprints of all entries carrying the Guard flag.
+func (d *Document) Guards() []onion.Fingerprint {
+	out := make([]onion.Fingerprint, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		if e.Flags.Has(FlagGuard) {
+			out = append(out, e.Fingerprint)
+		}
+	}
+	return out
+}
+
+// Lookup returns the entry for fingerprint f, if present.
+func (d *Document) Lookup(f onion.Fingerprint) (Entry, bool) {
+	i := sort.Search(len(d.Entries), func(i int) bool {
+		return d.Entries[i].Fingerprint.Compare(f) >= 0
+	})
+	if i < len(d.Entries) && d.Entries[i].Fingerprint == f {
+		return d.Entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Thresholds parameterise flag assignment.
+type Thresholds struct {
+	// HSDirUptime is the continuous uptime required for the HSDir flag
+	// (25 h on the 2013 network).
+	HSDirUptime time.Duration
+	// StableUptime is the continuous uptime required for the Stable flag.
+	StableUptime time.Duration
+	// GuardUptime is the continuous uptime required for the Guard flag.
+	GuardUptime time.Duration
+	// GuardBandwidth is the minimum bandwidth (KB/s) for the Guard flag.
+	GuardBandwidth int
+	// FastBandwidth is the minimum bandwidth (KB/s) for the Fast flag.
+	FastBandwidth int
+	// MaxPerIP is the maximum number of relays per IP admitted to the
+	// consensus (2 on the real network).
+	MaxPerIP int
+}
+
+// DefaultThresholds returns the 2013-network parameters used throughout
+// the reproduction.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		HSDirUptime:    25 * time.Hour,
+		StableUptime:   5 * 24 * time.Hour,
+		GuardUptime:    8 * 24 * time.Hour,
+		GuardBandwidth: 250,
+		FastBandwidth:  100,
+		MaxPerIP:       2,
+	}
+}
+
+// Authority is a (collapsed) set of directory authorities: it monitors
+// registered relays and periodically publishes consensus documents.
+type Authority struct {
+	thresholds Thresholds
+	relays     []*relay.Relay
+	byID       map[relay.ID]*relay.Relay
+}
+
+// NewAuthority creates an authority with the given thresholds.
+func NewAuthority(th Thresholds) *Authority {
+	return &Authority{
+		thresholds: th,
+		byID:       make(map[relay.ID]*relay.Relay),
+	}
+}
+
+// Register adds a self-advertised relay to the authority's watch list.
+// Registering the same relay twice is a no-op.
+func (a *Authority) Register(r *relay.Relay) {
+	if _, ok := a.byID[r.ID()]; ok {
+		return
+	}
+	a.relays = append(a.relays, r)
+	a.byID[r.ID()] = r
+}
+
+// Registered returns the number of watched relays.
+func (a *Authority) Registered() int { return len(a.relays) }
+
+// flagsFor computes the flags a relay earns from its probe status.
+func (a *Authority) flagsFor(s relay.Status) Flag {
+	f := FlagRunning
+	if s.Bandwidth >= a.thresholds.FastBandwidth {
+		f |= FlagFast
+	}
+	if s.Uptime >= a.thresholds.StableUptime {
+		f |= FlagStable
+	}
+	if s.Uptime >= a.thresholds.GuardUptime && s.Bandwidth >= a.thresholds.GuardBandwidth {
+		f |= FlagGuard
+	}
+	if s.Uptime >= a.thresholds.HSDirUptime {
+		f |= FlagHSDir
+	}
+	return f
+}
+
+// Publish probes every registered relay and produces the consensus valid
+// from now. Per IP address, only the MaxPerIP highest-bandwidth reachable
+// relays are admitted (ties broken by fingerprint for determinism); the
+// rest are the "shadow relays" of Section II-A.
+func (a *Authority) Publish(now time.Time) *Document {
+	statuses := make([]relay.Status, 0, len(a.relays))
+	for _, r := range a.relays {
+		s := r.StatusAt(now)
+		if s.Running && s.Reachable {
+			statuses = append(statuses, s)
+		}
+	}
+
+	byIP := make(map[string][]relay.Status, len(statuses))
+	for _, s := range statuses {
+		byIP[s.IP] = append(byIP[s.IP], s)
+	}
+
+	doc := &Document{ValidAfter: now}
+	for _, group := range byIP {
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].Bandwidth != group[j].Bandwidth {
+				return group[i].Bandwidth > group[j].Bandwidth
+			}
+			return group[i].Fingerprint.Less(group[j].Fingerprint)
+		})
+		n := a.thresholds.MaxPerIP
+		if n > len(group) {
+			n = len(group)
+		}
+		for _, s := range group[:n] {
+			doc.Entries = append(doc.Entries, Entry{
+				Fingerprint: s.Fingerprint,
+				RelayID:     s.ID,
+				Nickname:    s.Nickname,
+				IP:          s.IP,
+				ORPort:      s.ORPort,
+				Bandwidth:   s.Bandwidth,
+				Flags:       a.flagsFor(s),
+				Uptime:      s.Uptime,
+			})
+		}
+	}
+
+	sort.Slice(doc.Entries, func(i, j int) bool {
+		return doc.Entries[i].Fingerprint.Less(doc.Entries[j].Fingerprint)
+	})
+	return doc
+}
+
+// ShadowCount reports how many running, reachable relays were *excluded*
+// from the given consensus by the per-IP cap — i.e. the size of the shadow
+// population an attacker could be hiding.
+func (a *Authority) ShadowCount(now time.Time, doc *Document) int {
+	inDoc := make(map[onion.Fingerprint]bool, len(doc.Entries))
+	for _, e := range doc.Entries {
+		inDoc[e.Fingerprint] = true
+	}
+	n := 0
+	for _, r := range a.relays {
+		s := r.StatusAt(now)
+		if s.Running && s.Reachable && !inDoc[s.Fingerprint] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package deanon
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"torhs/internal/geo"
+	"torhs/internal/hspop"
+	"torhs/internal/relaynet"
+	"torhs/internal/simnet"
+)
+
+func setup(t *testing.T, seed int64) (*simnet.Network, *hspop.Population, time.Time) {
+	t.Helper()
+	fleet := relaynet.DefaultFleetConfig(seed)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simnet.DefaultConfig(seed)
+	cfg.Clients = 800
+	net, err := simnet.NewNetwork(h.All()[0], db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := h.All()[0].ValidAfter
+	net.PublishAll(pop, now)
+	return net, pop, now
+}
+
+func TestRunValidation(t *testing.T) {
+	net, pop, now := setup(t, 1)
+	cfg := DefaultConfig(1)
+	cfg.GuardControlFraction = 0
+	if _, err := Run(net, pop, pop.Services[0], now, cfg); err == nil {
+		t.Fatal("zero guard fraction accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.Window = 0
+	if _, err := Run(net, pop, pop.Services[0], now, cfg); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestCampaignAgainstGoldnet(t *testing.T) {
+	net, pop, now := setup(t, 2)
+	target := pop.Services[0] // top Goldnet front
+
+	cfg := DefaultConfig(2)
+	cfg.GuardControlFraction = 0.25
+	rep, err := Run(net, pop, target, now, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignaturesSent == 0 {
+		t.Fatal("no signatures sent against the most popular service")
+	}
+	if len(rep.Detections) == 0 {
+		t.Fatal("no clients deanonymised with 25% guard control")
+	}
+	if rep.UniqueClients == 0 || rep.UniqueClients > len(rep.Detections) {
+		t.Fatalf("unique clients = %d of %d detections", rep.UniqueClients, len(rep.Detections))
+	}
+	// Detection rate should approximate the guard-control share.
+	if math.Abs(rep.DetectionRate-0.25) > 0.12 {
+		t.Fatalf("detection rate = %.3f, want ~0.25", rep.DetectionRate)
+	}
+	// Country histogram covers the detections.
+	sum := 0
+	for _, n := range rep.CountryHistogram {
+		sum += n
+	}
+	if sum != len(rep.Detections) {
+		t.Fatal("country histogram inconsistent")
+	}
+	// Fig. 3 data: multiple countries, ranked.
+	points := rep.MapPoints()
+	if len(points) < 3 {
+		t.Fatalf("map covers %d countries, want a world-wide spread", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Count > points[i-1].Count {
+			t.Fatal("map points not ranked")
+		}
+	}
+}
+
+func TestDetectionRateScalesWithGuardControl(t *testing.T) {
+	netLow, popLow, nowLow := setup(t, 3)
+	low, err := Run(netLow, popLow, popLow.Services[0], nowLow, Config{
+		GuardControlFraction: 0.05, Window: 2 * time.Hour, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netHigh, popHigh, nowHigh := setup(t, 3)
+	high, err := Run(netHigh, popHigh, popHigh.Services[0], nowHigh, Config{
+		GuardControlFraction: 0.5, Window: 2 * time.Hour, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.DetectionRate <= low.DetectionRate {
+		t.Fatalf("detection rate did not scale: %.3f (5%%) vs %.3f (50%%)",
+			low.DetectionRate, high.DetectionRate)
+	}
+}
+
+func TestCellLevelCampaignMatchesBooleanMode(t *testing.T) {
+	netA, popA, nowA := setup(t, 30)
+	plain, err := Run(netA, popA, popA.Services[0], nowA, Config{
+		GuardControlFraction: 0.3, Window: 2 * time.Hour, Seed: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, popB, nowB := setup(t, 30)
+	cell, err := Run(netB, popB, popB.Services[0], nowB, Config{
+		GuardControlFraction: 0.3, Window: 2 * time.Hour, Seed: 30, CellLevel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seeds → same traffic; the cell detector recovers every
+	// marked circuit, so the two modes agree.
+	if cell.SignaturesSent != plain.SignaturesSent {
+		t.Fatalf("signatures differ: %d vs %d", cell.SignaturesSent, plain.SignaturesSent)
+	}
+	if len(cell.Detections) != len(plain.Detections) {
+		t.Fatalf("detections differ: %d vs %d", len(cell.Detections), len(plain.Detections))
+	}
+	if cell.CellMisses != 0 {
+		t.Fatalf("cell detector missed %d circuits", cell.CellMisses)
+	}
+	if cell.CellFalsePositives > cell.SignaturesSent/50+1 {
+		t.Fatalf("false positives = %d", cell.CellFalsePositives)
+	}
+}
+
+func TestUnpopularTargetYieldsNothing(t *testing.T) {
+	net, pop, now := setup(t, 4)
+	var dark *hspop.Service
+	for _, s := range pop.Services {
+		if s.ExpectedRequests == 0 && s.DescriptorAtScan {
+			dark = s
+			break
+		}
+	}
+	if dark == nil {
+		t.Fatal("no dark service")
+	}
+	rep, err := Run(net, pop, dark, now, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SignaturesSent != 0 || len(rep.Detections) != 0 {
+		t.Fatalf("phantom detections: %+v", rep)
+	}
+}

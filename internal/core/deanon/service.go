@@ -1,0 +1,109 @@
+package deanon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/simnet"
+)
+
+// ServiceConfig parameterises the service-side campaign: the original [8]
+// attack the paper's Section II-B summarises, targeting the hidden
+// service's own location rather than its clients.
+type ServiceConfig struct {
+	// GuardControlFraction is the attacker's share of the guard pool.
+	GuardControlFraction float64
+	// Days is how many daily descriptor uploads the attacker observes;
+	// each upload is a fresh chance that the service's circuit uses an
+	// attacker guard.
+	Days int
+	// Seed selects the attacker's guards.
+	Seed int64
+}
+
+// DefaultServiceConfig returns a realistic multi-month observation: the
+// attack is a waiting game on the target's 30–60-day guard rotation.
+func DefaultServiceConfig(seed int64) ServiceConfig {
+	return ServiceConfig{GuardControlFraction: 0.15, Days: 120, Seed: seed}
+}
+
+// ServiceReport summarises a service-side campaign.
+type ServiceReport struct {
+	Target onion.Address
+	// SignaturesSent counts uploads answered with the traffic signature.
+	SignaturesSent int
+	// Detections are the raw guard observations.
+	Detections []simnet.ServiceDetection
+	// Success reports whether the service's IP was revealed.
+	Success bool
+	// RevealedIP is the deanonymised address (empty on failure).
+	RevealedIP string
+	// DaysToFirstDetection is the observation day of the first hit
+	// (0-based; -1 on failure).
+	DaysToFirstDetection int
+}
+
+// RunServiceSide executes the [8] attack against one service: the
+// attacker positions itself as the service's responsible directories for
+// every observed day (positions are predictable, Section II-A) and
+// watches its guards for the upload signature.
+func RunServiceSide(
+	net *simnet.Network,
+	target *hspop.Service,
+	start time.Time,
+	cfg ServiceConfig,
+) (*ServiceReport, error) {
+	if cfg.GuardControlFraction <= 0 || cfg.GuardControlFraction > 1 {
+		return nil, fmt.Errorf("deanon: guard fraction %v out of (0,1]", cfg.GuardControlFraction)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("deanon: days %d must be positive", cfg.Days)
+	}
+
+	// Attacker directories: the union of the target's responsible sets
+	// across the observed days.
+	dirSet := make(map[onion.Fingerprint]bool)
+	for day := 0; day < cfg.Days; day++ {
+		at := start.Add(time.Duration(day) * 24 * time.Hour)
+		for _, fp := range net.Ring().ResponsibleForServiceAt(target.PermID, at) {
+			dirSet[fp] = true
+		}
+	}
+	dirs := make([]onion.Fingerprint, 0, len(dirSet))
+	for fp := range dirSet {
+		dirs = append(dirs, fp)
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].Less(dirs[j]) })
+
+	pool := append([]onion.Fingerprint(nil), net.GuardPool()...)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	nGuards := int(float64(len(pool)) * cfg.GuardControlFraction)
+	if nGuards < 1 {
+		nGuards = 1
+	}
+
+	attack := simnet.NewServiceSignatureAttack(target.PermID, dirs, pool[:nGuards])
+	net.OnUpload(attack.ObserveUpload)
+
+	rep := &ServiceReport{Target: target.Address, DaysToFirstDetection: -1}
+	for day := 0; day < cfg.Days; day++ {
+		at := start.Add(time.Duration(day) * 24 * time.Hour)
+		net.PublishService(target, at)
+		if rep.DaysToFirstDetection < 0 && len(attack.Detections()) > 0 {
+			rep.DaysToFirstDetection = day
+		}
+	}
+
+	rep.SignaturesSent = attack.SignaturesSent()
+	rep.Detections = attack.Detections()
+	if ip, ok := attack.DeanonymisedServices()[target.Address]; ok {
+		rep.Success = true
+		rep.RevealedIP = ip
+	}
+	return rep, nil
+}

@@ -1,0 +1,16 @@
+// Package core groups the paper's primary contributions, one subpackage
+// per pipeline:
+//
+//   - trawl: the shadow-relay collection attack (Section II-A) that
+//     harvests onion addresses and client request rates;
+//   - scan: port scanning and HTTPS certificate auditing (Section III,
+//     Fig. 1);
+//   - content: crawling, filtering, language detection and topic
+//     classification (Section IV, Table I, Fig. 2);
+//   - popularity: descriptor-ID resolution and ranking (Section V,
+//     Table II);
+//   - deanon: opportunistic deanonymisation of hidden-service clients
+//     (Section VI, Fig. 3) and of the services themselves (the [8]
+//     attack of Section II-B);
+//   - tracking: consensus-history tracking detection (Section VII).
+package core

@@ -1,0 +1,241 @@
+package popularity
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+func window() (time.Time, time.Time) {
+	return time.Date(2013, 1, 28, 0, 0, 0, 0, time.UTC),
+		time.Date(2013, 2, 8, 0, 0, 0, 0, time.UTC)
+}
+
+func makeServices(n int, seed int64) map[onion.Address]onion.PermanentID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[onion.Address]onion.PermanentID, n)
+	for i := 0; i < n; i++ {
+		k := onion.GenerateKey(rng)
+		out[onion.AddressFromKey(k)] = k.PermanentID()
+	}
+	return out
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	from, to := window()
+	if _, err := BuildIndex(nil, to, from); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestBuildIndexCoversWindow(t *testing.T) {
+	from, to := window()
+	services := makeServices(20, 1)
+	ix, err := BuildIndex(services, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 days × 2 replicas × 20 services (±1 period from the offset).
+	if ix.Len() < 20*11*2 {
+		t.Fatalf("index size = %d, want >= %d", ix.Len(), 20*11*2)
+	}
+	for addr, permID := range services {
+		mid := from.Add(5 * 24 * time.Hour)
+		for _, id := range onion.DescriptorIDs(permID, mid) {
+			got, ok := ix.Resolve(id)
+			if !ok || got != addr {
+				t.Fatalf("mid-window ID not resolvable to %s", addr)
+			}
+		}
+	}
+}
+
+func TestResolveRoundTrip(t *testing.T) {
+	from, to := window()
+	services := makeServices(50, 2)
+	ix, err := BuildIndex(services, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate requests: 10 services requested with known counts, plus
+	// phantom IDs.
+	rng := rand.New(rand.NewSource(3))
+	counts := make(map[onion.DescriptorID]int)
+	wantPerAddr := map[onion.Address]int{}
+	i := 0
+	for addr, permID := range services {
+		if i >= 10 {
+			break
+		}
+		i++
+		at := from.Add(time.Duration(rng.Intn(10*24)) * time.Hour)
+		ids := onion.DescriptorIDs(permID, at)
+		counts[ids[0]] += 5 * i
+		counts[ids[1]] += 3
+		wantPerAddr[addr] = 5*i + 3
+	}
+	phantomTotal := 0
+	for p := 0; p < 30; p++ {
+		f := onion.RandomFingerprint(rng)
+		var id onion.DescriptorID
+		copy(id[:], f[:])
+		counts[id] = 7
+		phantomTotal += 7
+	}
+
+	res := Resolve(counts, ix)
+	if res.ResolvedAddresses != 10 {
+		t.Fatalf("resolved addresses = %d, want 10", res.ResolvedAddresses)
+	}
+	if res.UniqueIDs != len(counts) {
+		t.Fatalf("unique IDs = %d, want %d", res.UniqueIDs, len(counts))
+	}
+	for addr, want := range wantPerAddr {
+		if res.PerAddress[addr] != want {
+			t.Fatalf("address %s count = %d, want %d", addr, res.PerAddress[addr], want)
+		}
+	}
+	if res.TotalRequests != res.ResolvedRequests+phantomTotal {
+		t.Fatal("phantom requests leaked into resolved volume")
+	}
+}
+
+func TestResolveBruteForceMatchesIndexed(t *testing.T) {
+	from, to := window()
+	services := makeServices(15, 4)
+	ix, err := BuildIndex(services, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	counts := make(map[onion.DescriptorID]int)
+	for _, permID := range services {
+		at := from.Add(time.Duration(rng.Intn(8*24)) * time.Hour)
+		counts[onion.ComputeDescriptorID(permID, at, 0)] = 1 + rng.Intn(50)
+	}
+	for p := 0; p < 10; p++ {
+		f := onion.RandomFingerprint(rng)
+		var id onion.DescriptorID
+		copy(id[:], f[:])
+		counts[id] = 2
+	}
+
+	fast := Resolve(counts, ix)
+	slow := ResolveBruteForce(counts, services, from, to)
+
+	if fast.ResolvedIDs != slow.ResolvedIDs || fast.ResolvedRequests != slow.ResolvedRequests ||
+		fast.ResolvedAddresses != slow.ResolvedAddresses {
+		t.Fatalf("brute force diverges: fast=%+v slow=%+v", fast, slow)
+	}
+	for addr, n := range fast.PerAddress {
+		if slow.PerAddress[addr] != n {
+			t.Fatalf("address %s: fast %d, slow %d", addr, n, slow.PerAddress[addr])
+		}
+	}
+}
+
+func TestRankOrderingAndLabels(t *testing.T) {
+	res := &Resolution{PerAddress: map[onion.Address]int{
+		"aaaaaaaaaaaaaaaa": 100,
+		"bbbbbbbbbbbbbbbb": 300,
+		"cccccccccccccccc": 200,
+	}}
+	labels := map[onion.Address]string{"bbbbbbbbbbbbbbbb": "Goldnet"}
+	ranking := Rank(res, func(a onion.Address) string { return labels[a] })
+
+	if ranking[0].Addr != "bbbbbbbbbbbbbbbb" || ranking[0].Rank != 1 {
+		t.Fatalf("rank 1 = %+v", ranking[0])
+	}
+	if ranking[0].Label != "Goldnet" {
+		t.Fatal("label missing")
+	}
+	if ranking[1].Requests != 200 || ranking[2].Requests != 100 {
+		t.Fatal("ordering wrong")
+	}
+
+	e, ok := FindLabel(ranking, "Goldnet")
+	if !ok || e.Rank != 1 {
+		t.Fatal("FindLabel broken")
+	}
+	if _, ok := FindLabel(ranking, "nope"); ok {
+		t.Fatal("FindLabel found phantom label")
+	}
+}
+
+func TestRankDeterministicTieBreak(t *testing.T) {
+	res := &Resolution{PerAddress: map[onion.Address]int{
+		"zzzzzzzzzzzzzzzz": 5,
+		"aaaaaaaaaaaaaaaa": 5,
+	}}
+	r1 := Rank(res, nil)
+	r2 := Rank(res, nil)
+	if r1[0].Addr != r2[0].Addr || r1[0].Addr != "aaaaaaaaaaaaaaaa" {
+		t.Fatal("tie break not deterministic by address")
+	}
+}
+
+// TestResolutionWindowAblation reproduces why the paper resolves over a
+// ±days window (28 Jan – 8 Feb): clients with skewed clocks request
+// descriptor IDs for the wrong day. A window covering only the
+// measurement day misses them; widening the window recovers them.
+func TestResolutionWindowAblation(t *testing.T) {
+	day := time.Date(2013, 2, 4, 12, 0, 0, 0, time.UTC)
+	services := makeServices(40, 7)
+
+	// Half the requests use correct clocks; half are skewed ±1–3 days.
+	rng := rand.New(rand.NewSource(8))
+	counts := make(map[onion.DescriptorID]int)
+	i := 0
+	for _, permID := range services {
+		at := day
+		if i%2 == 1 {
+			offset := time.Duration(1+rng.Intn(3)) * 24 * time.Hour
+			if rng.Intn(2) == 0 {
+				offset = -offset
+			}
+			at = day.Add(offset)
+		}
+		counts[onion.ComputeDescriptorID(permID, at, 0)]++
+		i++
+	}
+
+	narrowIx, err := BuildIndex(services, day, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideIx, err := BuildIndex(services, day.Add(-4*24*time.Hour), day.Add(4*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := Resolve(counts, narrowIx)
+	wide := Resolve(counts, wideIx)
+
+	if narrow.ResolvedIDs >= wide.ResolvedIDs {
+		t.Fatalf("narrow window resolved %d, wide %d — skew handling broken",
+			narrow.ResolvedIDs, wide.ResolvedIDs)
+	}
+	// The wide window must recover everything.
+	if wide.ResolvedIDs != len(counts) {
+		t.Fatalf("wide window resolved %d of %d", wide.ResolvedIDs, len(counts))
+	}
+	// The narrow window still catches the correct-clock half.
+	if narrow.ResolvedIDs < len(counts)/3 {
+		t.Fatalf("narrow window resolved only %d of %d", narrow.ResolvedIDs, len(counts))
+	}
+}
+
+func TestResolveEmptyLog(t *testing.T) {
+	from, to := window()
+	ix, err := BuildIndex(makeServices(3, 6), from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resolve(nil, ix)
+	if res.TotalRequests != 0 || res.ResolvedAddresses != 0 {
+		t.Fatalf("empty log resolution = %+v", res)
+	}
+}

@@ -1,0 +1,46 @@
+package tracking
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV exports the per-relay analysis as CSV, one row per relay that
+// was ever responsible for the target, for inspection in external tools.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"relay_id", "nicknames", "ips", "fingerprints",
+		"times_responsible", "threshold", "max_ratio", "max_consecutive",
+		"switches", "switches_into_position", "fresh_flag_responsible",
+		"suspicious", "reasons",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tracking: csv header: %w", err)
+	}
+	for _, rel := range r.Relays {
+		row := []string{
+			strconv.FormatInt(int64(rel.RelayID), 10),
+			strings.Join(rel.Nicknames, ";"),
+			strings.Join(rel.IPs, ";"),
+			strconv.Itoa(rel.Fingerprints),
+			strconv.Itoa(rel.TimesResponsible),
+			strconv.FormatFloat(rel.Threshold, 'f', 3, 64),
+			strconv.FormatFloat(rel.MaxRatio, 'f', 1, 64),
+			strconv.Itoa(rel.MaxConsecutive),
+			strconv.Itoa(rel.Switches),
+			strconv.Itoa(rel.SwitchesIntoPosition),
+			strconv.Itoa(rel.FreshFlagResponsible),
+			strconv.FormatBool(rel.Suspicious),
+			strings.Join(rel.Reasons, ";"),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("tracking: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,452 @@
+// Package tracking implements the paper's Section VII: statistical
+// analysis of consensus history to detect entities that positioned
+// themselves as a hidden service's responsible directories. Five rules
+// are applied, exactly as the paper describes:
+//
+//  1. A relay responsible for the target far more often than chance
+//     (binomial μ+3σ outlier rule with p = 6/N_hsdir).
+//  2. A relay that changed its fingerprint shortly before becoming
+//     responsible.
+//  3. A suspiciously small descriptor-ID-to-fingerprint ring distance
+//     (the avg_dist/distance ratio; >100 suspicious, >10,000 strong).
+//  4. A high number of fingerprint switches in a short period.
+//  5. A relay responsible for many consecutive time periods, or becoming
+//     responsible at the minimum possible uptime (25 h after appearing).
+package tracking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"torhs/internal/consensus"
+	"torhs/internal/hsdir"
+	"torhs/internal/onion"
+	"torhs/internal/relay"
+	"torhs/internal/stats"
+)
+
+// Config parameterises the detector; defaults follow the paper.
+type Config struct {
+	// SigmaK is the binomial outlier multiplier (3 in the paper).
+	SigmaK float64
+	// RatioSuspicious / RatioStrong are the distance-ratio thresholds
+	// (the paper calls >100 "close" and singles out relays crossing
+	// 10,000).
+	RatioSuspicious float64
+	RatioStrong     float64
+	// FreshFlagWindow flags relays that become responsible with uptime
+	// in [25h, 25h+window) — the minimum achievable.
+	FreshFlagWindow time.Duration
+	// SwitchLead is how soon after a fingerprint switch a responsibility
+	// must follow to count as "switched into position".
+	SwitchLead time.Duration
+	// MinSwitches is the switch count considered unusual (rule 4).
+	MinSwitches int
+	// HSDirUptime is the flag threshold (for rule 5's minimum-uptime
+	// check).
+	HSDirUptime time.Duration
+}
+
+// DefaultConfig returns the paper's thresholds.
+func DefaultConfig() Config {
+	return Config{
+		SigmaK:          3,
+		RatioSuspicious: 100,
+		RatioStrong:     10000,
+		FreshFlagWindow: 24 * time.Hour,
+		SwitchLead:      72 * time.Hour,
+		MinSwitches:     2,
+		HSDirUptime:     25 * time.Hour,
+	}
+}
+
+// Occurrence is one (day, relay) responsibility observation.
+type Occurrence struct {
+	At          time.Time
+	Fingerprint onion.Fingerprint
+	Replica     int
+	// Ratio is avg_dist/distance for this occurrence.
+	Ratio float64
+	// Uptime is the relay's consensus-reported uptime that day.
+	Uptime time.Duration
+}
+
+// RelayReport aggregates one relay identity's behaviour toward the
+// target.
+type RelayReport struct {
+	RelayID      relay.ID
+	Nicknames    []string
+	IPs          []string
+	Fingerprints int
+	Occurrences  []Occurrence
+
+	// TimesResponsible counts distinct days the relay was responsible.
+	TimesResponsible int
+	// Threshold is the μ+kσ suspicion bound for this window.
+	Threshold float64
+	// MaxRatio is the largest distance ratio observed.
+	MaxRatio float64
+	// MaxConsecutive is the longest run of consecutive responsible days.
+	MaxConsecutive int
+	// Switches counts fingerprint changes within the window.
+	Switches int
+	// SwitchesIntoPosition counts switches followed by responsibility
+	// within SwitchLead.
+	SwitchesIntoPosition int
+	// FreshFlagResponsible counts days the relay was responsible at the
+	// minimum possible uptime.
+	FreshFlagResponsible int
+
+	Suspicious bool
+	Reasons    []string
+}
+
+// Episode is a cluster of suspicious relays that acted together — the
+// paper groups trackers by shared nickname parts and IP addresses.
+type Episode struct {
+	// Label is the shared nickname stem (or IP set).
+	Label string
+	// RelayIDs lists the members.
+	RelayIDs []relay.ID
+	// From / To bound the episode's responsibility observations.
+	From, To time.Time
+	// FullTakeover marks an episode whose members held all six
+	// responsible slots on at least one day.
+	FullTakeover bool
+}
+
+// Report is the full analysis outcome.
+type Report struct {
+	From, To time.Time
+	// Days is the number of consensuses analysed.
+	Days int
+	// MeanHSDirs is the average HSDir-ring size across the window.
+	MeanHSDirs float64
+	// Relays reports every relay that was ever responsible, most
+	// frequent first.
+	Relays []RelayReport
+	// Suspicious lists indexes into Relays.
+	Suspicious []int
+	// Episodes clusters suspicious relays.
+	Episodes []Episode
+}
+
+// Analyzer applies the Section VII rules.
+type Analyzer struct {
+	cfg Config
+}
+
+// NewAnalyzer validates the configuration.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if cfg.SigmaK <= 0 {
+		return nil, fmt.Errorf("tracking: sigma multiplier %v must be positive", cfg.SigmaK)
+	}
+	if cfg.RatioSuspicious <= 1 || cfg.RatioStrong < cfg.RatioSuspicious {
+		return nil, fmt.Errorf("tracking: ratio thresholds %v/%v invalid",
+			cfg.RatioSuspicious, cfg.RatioStrong)
+	}
+	if cfg.MinSwitches <= 0 {
+		return nil, fmt.Errorf("tracking: min switches %d must be positive", cfg.MinSwitches)
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// relayState accumulates per-relay evidence during the sweep.
+type relayState struct {
+	report    RelayReport
+	lastFP    onion.Fingerprint
+	seenFP    map[onion.Fingerprint]bool
+	nickSet   map[string]bool
+	ipSet     map[string]bool
+	switchAts []time.Time
+	respDays  map[int64]bool // unix day -> responsible
+}
+
+// Analyze sweeps the history window [from, to] and scores every relay
+// that was ever responsible for the target.
+func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from, to time.Time) (*Report, error) {
+	docs := h.Range(from, to)
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
+	}
+
+	states := make(map[relay.ID]*relayState)
+	totalHSDirs := 0
+
+	getState := func(id relay.ID) *relayState {
+		st := states[id]
+		if st == nil {
+			st = &relayState{
+				seenFP:   map[onion.Fingerprint]bool{},
+				nickSet:  map[string]bool{},
+				ipSet:    map[string]bool{},
+				respDays: map[int64]bool{},
+			}
+			st.report.RelayID = id
+			states[id] = st
+		}
+		return st
+	}
+
+	for _, doc := range docs {
+		hsdirFPs := doc.HSDirs()
+		if len(hsdirFPs) == 0 {
+			continue
+		}
+		totalHSDirs += len(hsdirFPs)
+		ring := hsdir.NewRing(hsdirFPs)
+		avgGap := ring.AverageGap()
+
+		// Track fingerprint switches for every relay identity, whether
+		// or not it was ever responsible: a tracker mines its key days
+		// *before* the responsibility shows up.
+		for _, e := range doc.Entries {
+			st := getState(e.RelayID)
+			if st.lastFP != (onion.Fingerprint{}) && st.lastFP != e.Fingerprint {
+				st.report.Switches++
+				st.switchAts = append(st.switchAts, doc.ValidAfter)
+			}
+			st.lastFP = e.Fingerprint
+			st.seenFP[e.Fingerprint] = true
+			st.nickSet[e.Nickname] = true
+			st.ipSet[e.IP] = true
+		}
+
+		ids := onion.DescriptorIDs(target, doc.ValidAfter)
+		for replica, descID := range ids {
+			for _, fp := range ring.Responsible(descID, onion.SpreadPerReplica) {
+				entry, ok := doc.Lookup(fp)
+				if !ok {
+					continue
+				}
+				st := getState(entry.RelayID)
+				ratio := onion.RingRatio(avgGap, onion.Distance(descID, fp))
+				st.report.Occurrences = append(st.report.Occurrences, Occurrence{
+					At:          doc.ValidAfter,
+					Fingerprint: fp,
+					Replica:     replica,
+					Ratio:       ratio,
+					Uptime:      entry.Uptime,
+				})
+				if ratio > st.report.MaxRatio {
+					st.report.MaxRatio = ratio
+				}
+				if entry.Uptime >= a.cfg.HSDirUptime &&
+					entry.Uptime < a.cfg.HSDirUptime+a.cfg.FreshFlagWindow {
+					st.report.FreshFlagResponsible++
+				}
+				st.respDays[doc.ValidAfter.Unix()/86400] = true
+			}
+		}
+	}
+
+	n := len(docs)
+	meanHSDirs := float64(totalHSDirs) / float64(n)
+	binom := stats.Binomial{
+		N: n,
+		P: float64(onion.Replicas*onion.SpreadPerReplica) / meanHSDirs,
+	}
+	threshold := binom.OutlierThreshold(a.cfg.SigmaK)
+
+	rep := &Report{
+		From:       docs[0].ValidAfter,
+		To:         docs[len(docs)-1].ValidAfter,
+		Days:       n,
+		MeanHSDirs: meanHSDirs,
+	}
+
+	for _, st := range states {
+		if len(st.report.Occurrences) == 0 {
+			continue
+		}
+		r := &st.report
+		r.Nicknames = sortedKeys(st.nickSet)
+		r.IPs = sortedKeys(st.ipSet)
+		r.Fingerprints = len(st.seenFP)
+		r.TimesResponsible = len(st.respDays)
+		r.Threshold = threshold
+		r.MaxConsecutive = maxConsecutiveDays(st.respDays)
+		r.SwitchesIntoPosition = countSwitchesIntoPosition(st.switchAts, r.Occurrences, a.cfg.SwitchLead)
+
+		a.judge(r)
+		rep.Relays = append(rep.Relays, *r)
+	}
+
+	sort.Slice(rep.Relays, func(i, j int) bool {
+		if rep.Relays[i].TimesResponsible != rep.Relays[j].TimesResponsible {
+			return rep.Relays[i].TimesResponsible > rep.Relays[j].TimesResponsible
+		}
+		return rep.Relays[i].RelayID < rep.Relays[j].RelayID
+	})
+	for i := range rep.Relays {
+		if rep.Relays[i].Suspicious {
+			rep.Suspicious = append(rep.Suspicious, i)
+		}
+	}
+	rep.Episodes = a.clusterEpisodes(rep)
+	return rep, nil
+}
+
+// judge applies the five rules and records the reasons.
+func (a *Analyzer) judge(r *RelayReport) {
+	if float64(r.TimesResponsible) > r.Threshold {
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("responsible %d times, above mu+%.0fsigma=%.2f",
+				r.TimesResponsible, a.cfg.SigmaK, r.Threshold))
+	}
+	if r.SwitchesIntoPosition > 0 {
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("%d fingerprint switch(es) shortly before becoming responsible",
+				r.SwitchesIntoPosition))
+	}
+	switch {
+	case r.MaxRatio > a.cfg.RatioStrong:
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("distance ratio %.0f above strong threshold %.0f",
+				r.MaxRatio, a.cfg.RatioStrong))
+	case r.MaxRatio > a.cfg.RatioSuspicious:
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("distance ratio %.0f above threshold %.0f",
+				r.MaxRatio, a.cfg.RatioSuspicious))
+	}
+	if r.Switches >= a.cfg.MinSwitches {
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("%d fingerprint switches in window", r.Switches))
+	}
+	if r.FreshFlagResponsible > 0 {
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("responsible at minimum uptime %d time(s)", r.FreshFlagResponsible))
+	}
+	if r.MaxConsecutive >= 5 {
+		r.Reasons = append(r.Reasons,
+			fmt.Sprintf("responsible %d consecutive time periods", r.MaxConsecutive))
+	}
+
+	// A single weak signal is not enough: the paper requires either a
+	// strong positional signal (ratio, switch-into-position) or repeated
+	// anomalies.
+	strong := r.MaxRatio > a.cfg.RatioSuspicious || r.SwitchesIntoPosition > 0
+	repeated := len(r.Reasons) >= 2
+	r.Suspicious = (strong || repeated) && len(r.Reasons) > 0
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxConsecutiveDays(days map[int64]bool) int {
+	if len(days) == 0 {
+		return 0
+	}
+	keys := make([]int64, 0, len(days))
+	for d := range days {
+		keys = append(keys, d)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	best, run := 1, 1
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1]+1 {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 1
+		}
+	}
+	return best
+}
+
+func countSwitchesIntoPosition(switches []time.Time, occs []Occurrence, lead time.Duration) int {
+	count := 0
+	for _, sw := range switches {
+		for _, o := range occs {
+			d := o.At.Sub(sw)
+			if d >= 0 && d <= lead {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// nicknameStem strips trailing digits and separators, so "tracknet03"
+// and "tracknet11" share the stem "tracknet".
+func nicknameStem(n string) string {
+	return strings.TrimRight(n, "0123456789-_")
+}
+
+// clusterEpisodes groups suspicious relays by shared nickname stem. The
+// episode's time bounds come from *positionally suspicious* occurrences
+// (ratio above the threshold): any relay is occasionally responsible by
+// pure chance, and those chance days must not stretch the episode.
+func (a *Analyzer) clusterEpisodes(rep *Report) []Episode {
+	groups := make(map[string][]int)
+	for _, idx := range rep.Suspicious {
+		r := rep.Relays[idx]
+		stem := ""
+		if len(r.Nicknames) > 0 {
+			stem = nicknameStem(r.Nicknames[0])
+		}
+		groups[stem] = append(groups[stem], idx)
+	}
+	var episodes []Episode
+	for stem, members := range groups {
+		ep := Episode{Label: stem}
+		perDaySlots := make(map[int64]int)
+		deliberate := 0
+		for _, idx := range members {
+			r := rep.Relays[idx]
+			ep.RelayIDs = append(ep.RelayIDs, r.RelayID)
+			for _, o := range r.Occurrences {
+				if o.Ratio <= a.cfg.RatioSuspicious {
+					continue
+				}
+				deliberate++
+				if ep.From.IsZero() || o.At.Before(ep.From) {
+					ep.From = o.At
+				}
+				if o.At.After(ep.To) {
+					ep.To = o.At
+				}
+				perDaySlots[o.At.Unix()/86400]++
+			}
+		}
+		if deliberate == 0 {
+			// No positional evidence; fall back to all occurrences.
+			for _, idx := range members {
+				for _, o := range rep.Relays[idx].Occurrences {
+					if ep.From.IsZero() || o.At.Before(ep.From) {
+						ep.From = o.At
+					}
+					if o.At.After(ep.To) {
+						ep.To = o.At
+					}
+				}
+			}
+		}
+		for _, slots := range perDaySlots {
+			if slots >= onion.Replicas*onion.SpreadPerReplica {
+				ep.FullTakeover = true
+				break
+			}
+		}
+		sort.Slice(ep.RelayIDs, func(i, j int) bool { return ep.RelayIDs[i] < ep.RelayIDs[j] })
+		episodes = append(episodes, ep)
+	}
+	sort.Slice(episodes, func(i, j int) bool {
+		if !episodes[i].From.Equal(episodes[j].From) {
+			return episodes[i].From.Before(episodes[j].From)
+		}
+		return episodes[i].Label < episodes[j].Label
+	})
+	return episodes
+}

@@ -1,0 +1,259 @@
+// Package trawl implements the paper's collection methodology: the
+// shadow-relay ("shadowing") attack of Section II-A. An attacker rents a
+// small number of IP addresses, runs many relays on each, waits 25 hours
+// so *all* of them earn the HSDir flag, and then rotates reachability so
+// that fresh pairs of relays occupy the consensus slots each step. Over a
+// 24-hour window the attacker's relays sweep the HSDir ring, receiving
+// descriptor uploads (onion addresses) and client descriptor requests
+// (popularity data) for a large fraction of all hidden services.
+package trawl
+
+import (
+	"fmt"
+	"time"
+
+	"torhs/internal/geo"
+	"torhs/internal/hsdir"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/relay"
+	"torhs/internal/relaynet"
+	"torhs/internal/simnet"
+)
+
+// Config parameterises the trawling fleet. The paper used 58 Amazon EC2
+// instances (IP addresses).
+type Config struct {
+	// IPs is the number of rented IP addresses.
+	IPs int
+	// Steps is the number of reachability-rotation steps across the
+	// attack window; each step activates a fresh pair of relays per IP,
+	// so RelaysPerIP = 2*Steps.
+	Steps int
+	// StepLen is the duration of one rotation step.
+	StepLen time.Duration
+	// Bandwidth is the advertised bandwidth of attacker relays. It must
+	// be high: the per-IP consensus slots go to the two fastest relays.
+	Bandwidth int
+	// DeployLead is how long before the attack the fleet starts running
+	// (must exceed the 25-hour HSDir threshold).
+	DeployLead time.Duration
+	// DriveTraffic also simulates client descriptor-request traffic in
+	// each step and aggregates the attacker's request logs.
+	DriveTraffic bool
+	// ClientConfig configures the client population when DriveTraffic is
+	// set.
+	ClientConfig simnet.Config
+}
+
+// DefaultConfig mirrors the paper's deployment at simulation scale.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		IPs:          58,
+		Steps:        12,
+		StepLen:      2 * time.Hour,
+		Bandwidth:    99999,
+		DeployLead:   26 * time.Hour,
+		DriveTraffic: true,
+		ClientConfig: simnet.DefaultConfig(seed),
+	}
+}
+
+// Harvest is the outcome of one trawling run.
+type Harvest struct {
+	// Addresses are all collected onion addresses.
+	Addresses map[onion.Address]bool
+	// PermIDs maps collected addresses to their permanent IDs (derived
+	// from the harvested descriptors).
+	PermIDs map[onion.Address]onion.PermanentID
+	// DescriptorsSeen counts descriptor uploads captured (with replica
+	// multiplicity).
+	DescriptorsSeen int
+	// Log merges the request logs of all attacker directories across all
+	// steps (empty unless DriveTraffic).
+	Log *hsdir.RequestLog
+	// StepCoverage is, per step, the fraction of the consensus HSDir
+	// ring positions held by attacker relays.
+	StepCoverage []float64
+	// PublishedIDsSeen is the number of distinct descriptor IDs stored
+	// on attacker directories across the window.
+	PublishedIDsSeen int
+	// RequestedPublishedIDs is how many of those were ever fetched by a
+	// client — the paper observed only ~10% of published descriptors
+	// were ever requested (E9).
+	RequestedPublishedIDs int
+	// CollectedFraction is |Addresses| over the number of services that
+	// published descriptors.
+	CollectedFraction float64
+	// Window is the attack window [Start, End).
+	Start, End time.Time
+}
+
+// Trawler drives the attack against a relaynet simulation.
+type Trawler struct {
+	cfg    Config
+	fleet  [][]*relay.Relay // fleet[ip][i]
+	allFPs map[onion.Fingerprint]bool
+}
+
+// NewTrawler validates the configuration.
+func NewTrawler(cfg Config) (*Trawler, error) {
+	if cfg.IPs <= 0 {
+		return nil, fmt.Errorf("trawl: IPs %d must be positive", cfg.IPs)
+	}
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("trawl: steps %d must be positive", cfg.Steps)
+	}
+	if cfg.StepLen <= 0 {
+		return nil, fmt.Errorf("trawl: step length %v must be positive", cfg.StepLen)
+	}
+	if cfg.DeployLead < 25*time.Hour {
+		return nil, fmt.Errorf("trawl: deploy lead %v below the 25h HSDir threshold", cfg.DeployLead)
+	}
+	return &Trawler{cfg: cfg, allFPs: make(map[onion.Fingerprint]bool)}, nil
+}
+
+// Deploy starts the fleet at attackStart-DeployLead and registers it with
+// the simulation's authority: cfg.IPs addresses × 2*Steps relays each.
+// Initially only the first pair per IP is reachable.
+func (t *Trawler) Deploy(sim *relaynet.Sim, attackStart time.Time) {
+	startAt := attackStart.Add(-t.cfg.DeployLead)
+	relaysPerIP := 2 * t.cfg.Steps
+	t.fleet = make([][]*relay.Relay, t.cfg.IPs)
+	for ip := 0; ip < t.cfg.IPs; ip++ {
+		addr := fmt.Sprintf("203.0.%d.%d", ip/250, ip%250+1)
+		t.fleet[ip] = make([]*relay.Relay, relaysPerIP)
+		for i := 0; i < relaysPerIP; i++ {
+			r := relay.New(relay.Config{
+				ID:        sim.NewRelayID(),
+				Nickname:  fmt.Sprintf("trawler%02d-%02d", ip, i),
+				IP:        addr,
+				ORPort:    9001 + i,
+				Bandwidth: t.cfg.Bandwidth,
+			}, sim.RNG())
+			r.Start(startAt)
+			// Shadow relays stay reachable (they accrue uptime and
+			// flags); only step-0's pair keeps the consensus slots at
+			// first because slots go to the two fastest *reachable*
+			// relays and we mark later pairs unreachable until their
+			// step.
+			if i >= 2 {
+				r.SetReachable(false)
+			}
+			sim.AddAttackerRelay(r)
+			t.fleet[ip][i] = r
+			t.allFPs[r.Fingerprint()] = true
+		}
+	}
+}
+
+// rotate makes exactly the pair for the given step reachable on every IP.
+func (t *Trawler) rotate(step int) {
+	for _, relays := range t.fleet {
+		for i, r := range relays {
+			r.SetReachable(i/2 == step)
+		}
+	}
+}
+
+// ActiveFingerprints returns the fingerprints of the pair active in the
+// given step across all IPs.
+func (t *Trawler) ActiveFingerprints(step int) []onion.Fingerprint {
+	out := make([]onion.Fingerprint, 0, 2*len(t.fleet))
+	for _, relays := range t.fleet {
+		for i := 2 * step; i < 2*step+2 && i < len(relays); i++ {
+			out = append(out, relays[i].Fingerprint())
+		}
+	}
+	return out
+}
+
+// Owns reports whether the fingerprint belongs to the trawling fleet.
+func (t *Trawler) Owns(fp onion.Fingerprint) bool { return t.allFPs[fp] }
+
+// Run executes the attack: for each step it rotates the fleet, lets the
+// authority publish a consensus, re-publishes all service descriptors
+// onto the resulting ring, optionally drives client traffic, and reads
+// the attacker directories.
+func (t *Trawler) Run(
+	sim *relaynet.Sim,
+	pop *hspop.Population,
+	db *geo.DB,
+	attackStart time.Time,
+) (*Harvest, error) {
+	if t.fleet == nil {
+		return nil, fmt.Errorf("trawl: fleet not deployed")
+	}
+	h := &Harvest{
+		Addresses: make(map[onion.Address]bool),
+		PermIDs:   make(map[onion.Address]onion.PermanentID),
+		Log:       hsdir.NewRequestLog(),
+		Start:     attackStart,
+		End:       attackStart.Add(time.Duration(t.cfg.Steps) * t.cfg.StepLen),
+	}
+
+	published := pop.WithDescriptor()
+	publishedIDs := make(map[onion.DescriptorID]bool)
+	requestedPublished := make(map[onion.DescriptorID]bool)
+	for step := 0; step < t.cfg.Steps; step++ {
+		now := attackStart.Add(time.Duration(step) * t.cfg.StepLen)
+		t.rotate(step)
+		doc := sim.Authority().Publish(now)
+
+		cfg := t.cfg.ClientConfig
+		cfg.Seed = cfg.Seed*1000003 + int64(step) // fresh but deterministic per step
+		net, err := simnet.NewNetwork(doc, db, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trawl: step %d: %w", step, err)
+		}
+		net.PublishAll(pop, now)
+
+		if t.cfg.DriveTraffic {
+			net.DriveWindow(pop, now, t.cfg.StepLen, nil)
+		}
+
+		// Read out every attacker-operated directory.
+		attackerDirs := 0
+		for _, fp := range doc.HSDirs() {
+			if !t.allFPs[fp] {
+				continue
+			}
+			attackerDirs++
+			dir, ok := net.Directory(fp)
+			if !ok {
+				continue
+			}
+			for _, desc := range dir.All() {
+				h.DescriptorsSeen++
+				h.Addresses[desc.Address] = true
+				h.PermIDs[desc.Address] = desc.PermID
+			}
+			for _, id := range dir.PublishedIDs() {
+				publishedIDs[id] = true
+			}
+			if t.cfg.DriveTraffic {
+				h.Log.Merge(dir.Log())
+				for _, id := range dir.RequestedPublishedIDs() {
+					requestedPublished[id] = true
+				}
+			}
+		}
+		h.StepCoverage = append(h.StepCoverage, float64(attackerDirs)/float64(len(doc.HSDirs())))
+	}
+
+	h.PublishedIDsSeen = len(publishedIDs)
+	h.RequestedPublishedIDs = len(requestedPublished)
+	if len(published) > 0 {
+		h.CollectedFraction = float64(len(h.Addresses)) / float64(len(published))
+	}
+	return h, nil
+}
+
+// RequestedPublishedFraction returns the share of observed published
+// descriptor IDs that clients ever asked for (≈10% in the paper).
+func (h *Harvest) RequestedPublishedFraction() float64 {
+	if h.PublishedIDsSeen == 0 {
+		return 0
+	}
+	return float64(h.RequestedPublishedIDs) / float64(h.PublishedIDsSeen)
+}

@@ -1,0 +1,205 @@
+// Package corpus holds the seed vocabularies from which synthetic
+// hidden-service pages are generated and on which the language detector
+// and topic classifier are trained.
+//
+// The paper classified real crawled pages with Langdetect (character
+// n-grams) and Mallet/uClassify (bag-of-words topic models). We cannot
+// redistribute the 2013 crawl, so we synthesise pages from per-language
+// function-word vocabularies and per-topic keyword lexicons; the
+// classifiers in internal/textclass are trained on the same seed data and
+// evaluated on freshly sampled pages (never on the training documents
+// themselves).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Language codes follow ISO 639-1 where one exists. The 17 languages are
+// exactly those the paper reports finding.
+const (
+	LangEnglish    = "en"
+	LangGerman     = "de"
+	LangRussian    = "ru"
+	LangPortuguese = "pt"
+	LangSpanish    = "es"
+	LangFrench     = "fr"
+	LangPolish     = "pl"
+	LangJapanese   = "ja"
+	LangItalian    = "it"
+	LangCzech      = "cs"
+	LangArabic     = "ar"
+	LangDutch      = "nl"
+	LangBasque     = "eu"
+	LangChinese    = "zh"
+	LangHungarian  = "hu"
+	LangBantu      = "bnt" // the paper reports "Bantu"; we use Swahili vocabulary
+	LangSwedish    = "sv"
+)
+
+// Languages lists all supported language codes in a stable order.
+func Languages() []string {
+	return []string{
+		LangEnglish, LangGerman, LangRussian, LangPortuguese, LangSpanish,
+		LangFrench, LangPolish, LangJapanese, LangItalian, LangCzech,
+		LangArabic, LangDutch, LangBasque, LangChinese, LangHungarian,
+		LangBantu, LangSwedish,
+	}
+}
+
+// languageWords maps language code to a function-word vocabulary. These
+// are high-frequency words whose character statistics are distinctive
+// enough for n-gram language identification.
+var languageWords = map[string][]string{
+	LangEnglish: {
+		"the", "and", "for", "with", "this", "that", "from", "have", "are",
+		"you", "your", "about", "here", "more", "what", "when", "which",
+		"will", "can", "all", "our", "their", "has", "was", "were", "not",
+		"but", "they", "them", "there", "been", "would", "could", "should",
+		"into", "over", "under", "some", "other", "only", "also", "after",
+		"before", "because", "between", "through", "where", "while", "very",
+	},
+	LangGerman: {
+		"der", "die", "das", "und", "ist", "nicht", "mit", "ein", "eine",
+		"für", "auf", "von", "dem", "den", "des", "sich", "auch", "werden",
+		"haben", "einen", "wird", "sind", "oder", "aber", "nach", "wenn",
+		"über", "noch", "durch", "können", "müssen", "zwischen", "diese",
+		"dieser", "schon", "mehr", "sehr", "ohne", "unter", "gegen", "beim",
+	},
+	LangRussian: {
+		"это", "как", "что", "для", "или", "при", "его", "она", "они",
+		"быть", "если", "можно", "только", "также", "после", "через",
+		"который", "время", "есть", "нет", "все", "наш", "ваш", "здесь",
+		"сайт", "очень", "более", "между", "потом", "когда", "нужно",
+		"может", "тоже", "даже", "этот", "того", "чтобы", "была", "были",
+	},
+	LangPortuguese: {
+		"que", "não", "uma", "com", "para", "mais", "como", "mas", "foi",
+		"ser", "tem", "seu", "sua", "pelo", "pela", "até", "isso", "ela",
+		"entre", "depois", "sem", "mesmo", "aos", "seus", "quem", "nas",
+		"esse", "eles", "você", "essa", "num", "nem", "suas", "meu", "às",
+		"minha", "numa", "pelos", "elas", "qual", "nós", "lhe", "deles",
+	},
+	LangSpanish: {
+		"que", "los", "las", "una", "por", "con", "para", "como", "más",
+		"pero", "sus", "este", "esta", "son", "entre", "cuando", "muy",
+		"sin", "sobre", "también", "hasta", "hay", "donde", "quien",
+		"desde", "todo", "nos", "durante", "todos", "uno", "les", "contra",
+		"otros", "ese", "eso", "ante", "ellos", "esto", "mí", "antes",
+	},
+	LangFrench: {
+		"les", "des", "est", "une", "dans", "qui", "que", "pour", "pas",
+		"sur", "avec", "son", "aux", "par", "mais", "nous", "comme", "ont",
+		"être", "fait", "plus", "leur", "sans", "peut", "cette", "ces",
+		"notre", "vous", "tout", "faire", "elle", "deux", "même", "aussi",
+		"bien", "où", "encore", "toujours", "après", "très", "entre",
+	},
+	LangPolish: {
+		"nie", "jest", "się", "czy", "tak", "jak", "ale", "dla", "przez",
+		"być", "tylko", "jego", "oraz", "może", "bardzo", "już", "także",
+		"który", "która", "które", "kiedy", "gdzie", "wszystko", "jeszcze",
+		"między", "został", "można", "przy", "jako", "tego", "tym", "ich",
+		"będzie", "były", "taki", "inne", "nawet", "wtedy", "czyli",
+	},
+	LangJapanese: {
+		"これ", "それ", "あれ", "です", "ます", "した", "して", "いる",
+		"ある", "ない", "こと", "もの", "ため", "よう", "から", "まで",
+		"など", "について", "という", "ですが", "します", "される",
+		"できる", "において", "により", "および", "ください", "場合",
+	},
+	LangItalian: {
+		"che", "non", "per", "una", "sono", "con", "del", "della", "più",
+		"come", "anche", "questo", "questa", "alla", "nel", "nella", "gli",
+		"dei", "delle", "loro", "essere", "hanno", "molto", "quando",
+		"dove", "dopo", "senza", "tutti", "tutto", "altri", "quindi",
+		"però", "ancora", "fare", "tra", "cosa", "così", "già", "solo",
+	},
+	LangCzech: {
+		"není", "jsou", "jako", "ale", "nebo", "pro", "tak", "být", "což",
+		"jen", "také", "když", "této", "který", "která", "které", "podle",
+		"však", "mezi", "může", "již", "byl", "byla", "bylo", "jsem",
+		"jeho", "její", "naše", "vaše", "ještě", "velmi", "třeba", "tady",
+		"tedy", "proto", "přes", "před", "pouze", "každý",
+	},
+	LangArabic: {
+		"في", "من", "على", "هذا", "هذه", "التي", "الذي", "إلى", "عن",
+		"مع", "كان", "كانت", "لكن", "بعد", "قبل", "عند", "أن", "إن",
+		"كل", "بين", "حتى", "ذلك", "هناك", "أيضا", "غير", "منذ", "حيث",
+		"لدى", "خلال", "حول", "دون", "نحن", "أنت", "هما",
+	},
+	LangDutch: {
+		"het", "een", "van", "voor", "met", "aan", "bij", "ook", "naar",
+		"uit", "maar", "dit", "dat", "zijn", "niet", "wordt", "worden",
+		"heeft", "hebben", "deze", "over", "onder", "tussen", "omdat",
+		"alleen", "nog", "wel", "geen", "andere", "veel", "meer", "hier",
+		"daar", "dan", "toch", "zelf", "onze", "jullie", "alles",
+	},
+	LangBasque: {
+		"eta", "bat", "dira", "dela", "izan", "zen", "egin", "ere", "baina",
+		"hau", "hori", "horrek", "duen", "dute", "gabe", "arte", "bere",
+		"zuen", "behar", "beste", "baita", "edo", "oso", "berri", "ondoren",
+		"artean", "bezala", "gehiago", "lehen", "asko", "guztiak", "batean",
+		"honetan", "izango", "baino", "gero", "nahi", "badira",
+	},
+	LangChinese: {
+		"我们", "你们", "他们", "这个", "那个", "什么", "可以", "没有",
+		"知道", "因为", "所以", "但是", "如果", "现在", "时候", "这里",
+		"那里", "已经", "还是", "就是", "不是", "一个", "很多", "非常",
+		"需要", "使用", "服务", "网站", "信息", "请问",
+	},
+	LangHungarian: {
+		"nem", "hogy", "egy", "van", "meg", "csak", "már", "még", "volt",
+		"vagy", "mint", "lehet", "minden", "ezt", "azt", "így", "úgy",
+		"nagyon", "mert", "után", "előtt", "között", "amely", "pedig",
+		"ennek", "annak", "szerint", "kell", "lesz", "majd", "itt", "ott",
+		"aki", "ami", "hanem", "tehát", "illetve", "például",
+	},
+	LangBantu: {
+		"ya", "wa", "na", "kwa", "ni", "katika", "hii", "hiyo", "kama",
+		"lakini", "pia", "sana", "tu", "kila", "bila", "baada", "kabla",
+		"kati", "watu", "mtu", "kitu", "vitu", "mahali", "wakati", "siku",
+		"leo", "kesho", "jana", "habari", "asante", "karibu", "ndiyo",
+		"hapana", "kubwa", "ndogo", "nzuri", "mbaya", "hapa",
+	},
+	LangSwedish: {
+		"och", "att", "det", "som", "för", "inte", "med", "den", "har",
+		"till", "ett", "man", "var", "men", "och", "efter", "under",
+		"mellan", "också", "bara", "mycket", "från", "eller", "när",
+		"kan", "ska", "skulle", "finns", "många", "andra", "även",
+		"några", "denna", "detta", "vilket", "redan", "sedan", "utan",
+	},
+}
+
+// Words returns the seed vocabulary for a language code.
+func Words(lang string) ([]string, error) {
+	w, ok := languageWords[lang]
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown language %q", lang)
+	}
+	return w, nil
+}
+
+// SampleText generates a text of n words in the given language by
+// sampling the seed vocabulary. Extra words (topic keywords, onion
+// addresses…) can be interleaved via extra with probability extraProb.
+func SampleText(rng *rand.Rand, lang string, n int, extra []string, extraProb float64) (string, error) {
+	words, err := Words(lang)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.Grow(n * 8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if len(extra) > 0 && rng.Float64() < extraProb {
+			sb.WriteString(extra[rng.Intn(len(extra))])
+		} else {
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+	}
+	return sb.String(), nil
+}

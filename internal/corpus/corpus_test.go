@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAllLanguagesHaveVocabulary(t *testing.T) {
+	for _, lang := range Languages() {
+		words, err := Words(lang)
+		if err != nil {
+			t.Fatalf("Words(%q): %v", lang, err)
+		}
+		if len(words) < 20 {
+			t.Fatalf("language %q has only %d seed words", lang, len(words))
+		}
+		seen := make(map[string]bool, len(words))
+		for _, w := range words {
+			if w == "" {
+				t.Fatalf("language %q has empty word", lang)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestSeventeenLanguages(t *testing.T) {
+	if got := len(Languages()); got != 17 {
+		t.Fatalf("language count = %d, want 17 (as in the paper)", got)
+	}
+}
+
+func TestWordsUnknownLanguage(t *testing.T) {
+	if _, err := Words("xx"); err == nil {
+		t.Fatal("Words(xx) succeeded, want error")
+	}
+}
+
+func TestSampleTextLengthAndVocabulary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	text, err := SampleText(rng, LangEnglish, 100, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(text)
+	if len(fields) != 100 {
+		t.Fatalf("word count = %d, want 100", len(fields))
+	}
+	vocab, _ := Words(LangEnglish)
+	inVocab := make(map[string]bool, len(vocab))
+	for _, w := range vocab {
+		inVocab[w] = true
+	}
+	for _, w := range fields {
+		if !inVocab[w] {
+			t.Fatalf("word %q not in English vocabulary", w)
+		}
+	}
+}
+
+func TestSampleTextInterleavesExtras(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text, err := SampleText(rng, LangEnglish, 500, []string{"zzzkeyword"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "zzzkeyword") {
+		t.Fatal("extras never sampled at p=0.5 over 500 words")
+	}
+}
+
+func TestSampleTextUnknownLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := SampleText(rng, "xx", 10, nil, 0); err == nil {
+		t.Fatal("SampleText(xx) succeeded, want error")
+	}
+}
+
+func TestAllTopicsHaveKeywordsAndNames(t *testing.T) {
+	topics := AllTopics()
+	if len(topics) != NumTopics {
+		t.Fatalf("topic count = %d, want %d", len(topics), NumTopics)
+	}
+	for _, topic := range topics {
+		kw, err := TopicKeywords(topic)
+		if err != nil {
+			t.Fatalf("TopicKeywords(%v): %v", topic, err)
+		}
+		if len(kw) < 10 {
+			t.Fatalf("topic %v has only %d keywords", topic, len(kw))
+		}
+		if strings.HasPrefix(topic.String(), "Topic(") {
+			t.Fatalf("topic %d has no name", int(topic))
+		}
+	}
+}
+
+func TestTopicKeywordsUnknown(t *testing.T) {
+	if _, err := TopicKeywords(Topic(99)); err == nil {
+		t.Fatal("TopicKeywords(99) succeeded, want error")
+	}
+}
+
+func TestPaperTopicPercentSumsTo100(t *testing.T) {
+	sum := 0
+	for _, topic := range AllTopics() {
+		p, ok := PaperTopicPercent[topic]
+		if !ok {
+			t.Fatalf("topic %v missing from paper distribution", topic)
+		}
+		if p <= 0 {
+			t.Fatalf("topic %v has non-positive share %d", topic, p)
+		}
+		sum += p
+	}
+	if sum != 100 {
+		t.Fatalf("paper topic distribution sums to %d, want 100", sum)
+	}
+}
+
+func TestTopicStringUnknown(t *testing.T) {
+	if got := Topic(99).String(); got != "Topic(99)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,197 @@
+package corpus
+
+import "fmt"
+
+// Topic is one of the 18 content categories from Fig. 2 of the paper.
+type Topic int
+
+// The 18 categories in the order the paper's Fig. 2 lists them.
+const (
+	TopicAdult Topic = iota + 1
+	TopicDrugs
+	TopicPolitics
+	TopicCounterfeit
+	TopicWeapons
+	TopicFAQsTutorials
+	TopicSecurity
+	TopicAnonymity
+	TopicHacking
+	TopicSoftwareHardware
+	TopicArt
+	TopicServices
+	TopicGames
+	TopicScience
+	TopicDigitalLibraries
+	TopicSports
+	TopicTechnology
+	TopicOther
+)
+
+// NumTopics is the number of content categories.
+const NumTopics = 18
+
+// AllTopics returns all topics in Fig. 2 order.
+func AllTopics() []Topic {
+	out := make([]Topic, 0, NumTopics)
+	for t := TopicAdult; t <= TopicOther; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+var topicNames = map[Topic]string{
+	TopicAdult:            "Adult",
+	TopicDrugs:            "Drugs",
+	TopicPolitics:         "Politics",
+	TopicCounterfeit:      "Counterfeit",
+	TopicWeapons:          "Weapons",
+	TopicFAQsTutorials:    "FAQs,Tutorials",
+	TopicSecurity:         "Security",
+	TopicAnonymity:        "Anonymity",
+	TopicHacking:          "Hacking",
+	TopicSoftwareHardware: "Software,Hardware",
+	TopicArt:              "Art",
+	TopicServices:         "Services",
+	TopicGames:            "Games",
+	TopicScience:          "Science",
+	TopicDigitalLibraries: "Digital libs",
+	TopicSports:           "Sports",
+	TopicTechnology:       "Technology",
+	TopicOther:            "Other",
+}
+
+// String returns the Fig. 2 label.
+func (t Topic) String() string {
+	if n, ok := topicNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Topic(%d)", int(t))
+}
+
+// PaperTopicPercent is the Fig. 2 distribution (percent of the 1,813
+// classified English hidden services). The values sum to 100.
+var PaperTopicPercent = map[Topic]int{
+	TopicAdult:            17,
+	TopicDrugs:            15,
+	TopicPolitics:         9,
+	TopicCounterfeit:      8,
+	TopicWeapons:          4,
+	TopicFAQsTutorials:    4,
+	TopicSecurity:         5,
+	TopicAnonymity:        8,
+	TopicHacking:          3,
+	TopicSoftwareHardware: 7,
+	TopicArt:              2,
+	TopicServices:         4,
+	TopicGames:            1,
+	TopicScience:          1,
+	TopicDigitalLibraries: 4,
+	TopicSports:           1,
+	TopicTechnology:       4,
+	TopicOther:            3,
+}
+
+// topicKeywords is the per-topic keyword lexicon used both to synthesise
+// page bodies and to seed the topic classifier's training set.
+var topicKeywords = map[Topic][]string{
+	TopicAdult: {
+		"adult", "porn", "xxx", "erotic", "nude", "webcam", "escort",
+		"fetish", "explicit", "amateur", "video", "gallery", "mature",
+		"hardcore", "softcore", "lingerie", "strip", "cams",
+	},
+	TopicDrugs: {
+		"cannabis", "weed", "marijuana", "cocaine", "mdma", "ecstasy",
+		"lsd", "heroin", "pills", "gram", "ounce", "shipping", "stealth",
+		"vendor", "strain", "psychedelic", "opioid", "dose", "pharmacy",
+	},
+	TopicPolitics: {
+		"freedom", "rights", "corruption", "censorship", "government",
+		"leak", "cable", "whistleblower", "repression", "activist",
+		"protest", "regime", "election", "propaganda", "revolution",
+		"journalist", "dissident", "speech", "democracy",
+	},
+	TopicCounterfeit: {
+		"counterfeit", "replica", "fake", "passport", "license", "card",
+		"cvv", "dumps", "stolen", "account", "paypal", "cloned", "bills",
+		"banknote", "euro", "dollar", "identity", "document", "fullz",
+	},
+	TopicWeapons: {
+		"gun", "pistol", "rifle", "ammo", "ammunition", "firearm",
+		"glock", "caliber", "holster", "knife", "explosive", "tactical",
+		"barrel", "trigger", "magazine", "silencer", "armory",
+	},
+	TopicFAQsTutorials: {
+		"faq", "tutorial", "howto", "guide", "beginner", "step",
+		"instructions", "learn", "wiki", "manual", "answered", "question",
+		"basics", "walkthrough", "lesson", "explained", "setup",
+	},
+	TopicSecurity: {
+		"security", "encryption", "pgp", "gpg", "cipher", "password",
+		"authentication", "firewall", "vulnerability", "patch", "audit",
+		"malware", "antivirus", "exploit", "hardening", "key", "secure",
+	},
+	TopicAnonymity: {
+		"anonymity", "anonymous", "tor", "onion", "hidden", "privacy",
+		"pseudonym", "relay", "circuit", "mixnet", "remailer", "vpn",
+		"untraceable", "metadata", "surveillance", "mailbox", "hosting",
+	},
+	TopicHacking: {
+		"hack", "hacking", "exploit", "rootkit", "botnet", "ddos",
+		"phishing", "sql", "injection", "shell", "payload", "backdoor",
+		"crack", "keylogger", "zeroday", "deface", "bruteforce",
+	},
+	TopicSoftwareHardware: {
+		"software", "hardware", "linux", "windows", "download", "source",
+		"compile", "repository", "driver", "kernel", "install", "release",
+		"version", "binary", "firmware", "package", "opensource", "cpu",
+	},
+	TopicArt: {
+		"art", "poetry", "painting", "gallery", "artist", "creative",
+		"literature", "sculpture", "drawing", "novel", "exhibition",
+		"photography", "zine", "prose", "canvas", "sketch",
+	},
+	TopicServices: {
+		"escrow", "laundering", "hitman", "hire", "service", "mixer",
+		"tumbler", "exchange", "wallet", "bitcoin", "payment", "fee",
+		"guarantee", "delivery", "order", "contract", "broker", "rent",
+	},
+	TopicGames: {
+		"game", "chess", "poker", "lottery", "casino", "dice", "bet",
+		"wager", "jackpot", "player", "tournament", "roulette", "cards",
+		"blackjack", "winnings", "odds", "gamble",
+	},
+	TopicScience: {
+		"science", "research", "physics", "chemistry", "biology",
+		"experiment", "theory", "quantum", "molecule", "genome", "data",
+		"hypothesis", "laboratory", "journal", "peer", "study",
+	},
+	TopicDigitalLibraries: {
+		"library", "book", "ebook", "pdf", "archive", "collection",
+		"author", "title", "catalog", "read", "chapter", "text",
+		"literature", "scan", "mirror", "repository", "index",
+	},
+	TopicSports: {
+		"sport", "football", "soccer", "basketball", "match", "league",
+		"team", "score", "season", "player", "coach", "tournament",
+		"goal", "racing", "boxing", "fixture",
+	},
+	TopicTechnology: {
+		"technology", "internet", "network", "protocol", "server",
+		"router", "bandwidth", "wireless", "cloud", "storage", "mobile",
+		"gadget", "electronics", "robotics", "sensor", "startup",
+	},
+	TopicOther: {
+		"misc", "random", "blog", "diary", "personal", "forum", "board",
+		"community", "chat", "links", "directory", "page", "notes",
+		"thoughts", "journal", "stuff", "various",
+	},
+}
+
+// TopicKeywords returns the keyword lexicon for a topic.
+func TopicKeywords(t Topic) ([]string, error) {
+	k, ok := topicKeywords[t]
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown topic %v", t)
+	}
+	return k, nil
+}

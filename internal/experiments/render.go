@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"torhs/internal/core/content"
+	"torhs/internal/core/deanon"
+	"torhs/internal/core/scan"
+	"torhs/internal/corpus"
+	"torhs/internal/stats"
+)
+
+// RenderCollectionComparison prints the introduction's motivating gap:
+// link-graph crawling vs trawling.
+func RenderCollectionComparison(w io.Writer, c *CollectionComparison) {
+	fmt.Fprintf(w, "== Collection methods (introduction motivation) ==\n")
+	fmt.Fprintf(w, "services publishing descriptors: %d\n", c.Published)
+	fmt.Fprintf(w, "  link crawl from directory sites: %6d addresses (%4.1f%%)\n",
+		c.CrawlDiscovered, c.CrawlFraction*100)
+	fmt.Fprintf(w, "  trawling attack:                 %6d addresses (%4.1f%%)\n",
+		c.TrawlCollected, c.TrawlFraction*100)
+	fmt.Fprintln(w)
+}
+
+// RenderFig1 prints the open-ports distribution (paper Fig. 1).
+func RenderFig1(w io.Writer, res *scan.Result) {
+	fmt.Fprintf(w, "== Fig. 1: open-ports distribution ==\n")
+	fmt.Fprintf(w, "addresses scanned: %d, with descriptor: %d, timeouts: %d\n",
+		res.TotalAddresses, res.WithDescriptor, res.Timeouts)
+	fmt.Fprintf(w, "open ports: %d over %d unique port numbers, coverage %.0f%%\n",
+		res.TotalOpenPorts, res.UniquePorts, res.Coverage*100)
+	for _, row := range res.Fig1(50) {
+		fmt.Fprintf(w, "  %-16s %6d\n", row.Label, row.Count)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCertAudit prints the Section III HTTPS-certificate findings.
+func RenderCertAudit(w io.Writer, a *scan.CertAudit) {
+	fmt.Fprintf(w, "== Section III: HTTPS certificates ==\n")
+	fmt.Fprintf(w, "HTTPS services: %d\n", a.HTTPSServices)
+	fmt.Fprintf(w, "self-signed, CN mismatch: %d (of which TorHost CN: %d)\n",
+		a.SelfSignedMismatch, a.TorHostCN)
+	fmt.Fprintf(w, "certificates leaking public DNS names: %d\n", a.DNSLeaks)
+	fmt.Fprintln(w)
+}
+
+// RenderTableI prints the HTTP/HTTPS destinations per port (paper
+// Table I).
+func RenderTableI(w io.Writer, res *content.Result) {
+	fmt.Fprintf(w, "== Table I: HTTP(S) destinations per port ==\n")
+	fmt.Fprintf(w, "attempted: %d, open at crawl: %d, connected: %d\n",
+		res.Attempted, res.OpenAtCrawl, res.Connected)
+	for _, row := range res.TableI() {
+		fmt.Fprintf(w, "  %-6s %6d\n", row.Label, row.Count)
+	}
+	fmt.Fprintf(w, "excluded: short %d (SSH banners %d), 443 duplicates %d, error pages %d\n",
+		res.ExcludedShort, res.ExcludedSSHBanners, res.ExcludedDup443, res.ExcludedError)
+	fmt.Fprintf(w, "classified: %d\n\n", res.Classified)
+}
+
+// RenderLanguages prints the language mix of classified pages.
+func RenderLanguages(w io.Writer, res *content.Result) {
+	fmt.Fprintf(w, "== Section IV: language mix ==\n")
+	ranked := stats.RankCounts(res.LanguageCounts)
+	total := 0
+	for _, r := range ranked {
+		total += r.Count
+	}
+	for _, r := range ranked {
+		fmt.Fprintf(w, "  %-4s %5d (%4.1f%%)\n", r.Key, r.Count, 100*float64(r.Count)/float64(total))
+	}
+	fmt.Fprintf(w, "languages found: %d\n\n", len(ranked))
+}
+
+// RenderFig2 prints the topic distribution (paper Fig. 2).
+func RenderFig2(w io.Writer, res *content.Result) {
+	fmt.Fprintf(w, "== Fig. 2: topic distribution ==\n")
+	fmt.Fprintf(w, "English pages: %d (TorHost default: %d, topic-classified: %d)\n",
+		res.EnglishTotal, res.TorhostDefault, res.EnglishTotal-res.TorhostDefault)
+	pct := res.TopicPercentages()
+	for _, t := range corpus.AllTopics() {
+		fmt.Fprintf(w, "  %-18s %3d%%  (paper: %d%%)\n", t, pct[t], corpus.PaperTopicPercent[t])
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTableII prints the popularity ranking (paper Table II), topN rows
+// plus the named below-top entries.
+func RenderTableII(w io.Writer, res *PopularityResult, topN int) {
+	fmt.Fprintf(w, "== Table II: most popular hidden services ==\n")
+	fmt.Fprintf(w, "collection: %d addresses (%.0f%% of published)\n",
+		len(res.Harvest.Addresses), res.Harvest.CollectedFraction*100)
+	fmt.Fprintf(w, "requests: %d total, %d unique descriptor IDs, %d resolved IDs -> %d addresses\n",
+		res.Resolution.TotalRequests, res.Resolution.UniqueIDs,
+		res.Resolution.ResolvedIDs, res.Resolution.ResolvedAddresses)
+	if res.Resolution.TotalRequests > 0 {
+		fmt.Fprintf(w, "unresolvable request share: %.0f%%\n",
+			100*float64(res.Resolution.TotalRequests-res.Resolution.ResolvedRequests)/
+				float64(res.Resolution.TotalRequests))
+	}
+	if res.Harvest.PublishedIDsSeen > 0 {
+		fmt.Fprintf(w, "published descriptors ever requested: %d of %d (%.0f%%)\n",
+			res.Harvest.RequestedPublishedIDs, res.Harvest.PublishedIDsSeen,
+			res.Harvest.RequestedPublishedFraction()*100)
+	}
+	for _, e := range res.Ranking {
+		if e.Rank <= topN || (e.Label != "" && e.Label != "Skynet") {
+			fmt.Fprintf(w, "  %4d %7d  %s  %s\n", e.Rank, e.Requests, e.Addr.String(), e.Label)
+		}
+		if e.Rank > 600 {
+			break
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderPrefixAudit prints vanity-prefix clusters (the paper's "silkroa"
+// phishing observation).
+func RenderPrefixAudit(w io.Writer, clusters []PrefixCluster) {
+	fmt.Fprintf(w, "== Vanity-prefix clusters (phishing audit) ==\n")
+	if len(clusters) == 0 {
+		fmt.Fprintln(w, "no clusters found")
+	}
+	for _, c := range clusters {
+		fmt.Fprintf(w, "prefix %q: %d addresses\n", c.Prefix, len(c.Addresses))
+		for i, a := range c.Addresses {
+			label := c.Labels[i]
+			if label == "" {
+				label = "<unlabelled>"
+			}
+			fmt.Fprintf(w, "  %s  %s\n", a.String(), label)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFig3 prints the deanonymised-client country map (paper Fig. 3).
+func RenderFig3(w io.Writer, rep *deanon.Report) {
+	fmt.Fprintf(w, "== Fig. 3: clients of a popular hidden service ==\n")
+	fmt.Fprintf(w, "target: %s\n", rep.Target.String())
+	fmt.Fprintf(w, "signatures sent: %d, detections: %d (rate %.2f), unique clients: %d\n",
+		rep.SignaturesSent, len(rep.Detections), rep.DetectionRate, rep.UniqueClients)
+	for _, p := range rep.MapPoints() {
+		fmt.Fprintf(w, "  %-3s %5d\n", p.Key, p.Count)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderServiceDeanon prints the Section II-B service-side guard attack
+// outcome.
+func RenderServiceDeanon(w io.Writer, rep *deanon.ServiceReport) {
+	fmt.Fprintf(w, "== Section II-B: service deanonymisation (the [8] attack) ==\n")
+	fmt.Fprintf(w, "target: %s\n", rep.Target.String())
+	fmt.Fprintf(w, "upload signatures sent: %d, guard hits: %d\n",
+		rep.SignaturesSent, len(rep.Detections))
+	if rep.Success {
+		fmt.Fprintf(w, "service deanonymised: IP %s (first hit on observation day %d)\n",
+			rep.RevealedIP, rep.DaysToFirstDetection)
+	} else {
+		fmt.Fprintf(w, "service not deanonymised in this window\n")
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTracking prints the Section VII analysis.
+func RenderTracking(w io.Writer, res *TrackingResult) {
+	rep := res.Report
+	fmt.Fprintf(w, "== Section VII: tracking detection for %s ==\n",
+		res.Scenario.TargetAddress.String())
+	fmt.Fprintf(w, "window: %s .. %s (%d consensuses, mean HSDirs %.0f)\n",
+		rep.From.Format("2006-01-02"), rep.To.Format("2006-01-02"), rep.Days, rep.MeanHSDirs)
+	fmt.Fprintf(w, "relays ever responsible: %d, suspicious: %d\n",
+		len(rep.Relays), len(rep.Suspicious))
+	for _, idx := range rep.Suspicious {
+		r := rep.Relays[idx]
+		nick := ""
+		if len(r.Nicknames) > 0 {
+			nick = r.Nicknames[0]
+		}
+		fmt.Fprintf(w, "  relay %4d %-14s resp=%2d maxRatio=%-10.0f switches=%d reasons=%d\n",
+			r.RelayID, nick, r.TimesResponsible, r.MaxRatio, r.Switches, len(r.Reasons))
+		for _, reason := range r.Reasons {
+			fmt.Fprintf(w, "      - %s\n", reason)
+		}
+	}
+	fmt.Fprintf(w, "episodes:\n")
+	for _, ep := range rep.Episodes {
+		kind := "partial"
+		if ep.FullTakeover {
+			kind = "FULL TAKEOVER of all 6 responsible slots"
+		}
+		ids := make([]int, 0, len(ep.RelayIDs))
+		for _, id := range ep.RelayIDs {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(w, "  %-12s %s .. %s  members=%d  %s\n",
+			ep.Label, ep.From.Format("2006-01-02"), ep.To.Format("2006-01-02"), len(ids), kind)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,429 @@
+// Package experiments wires the substrates and pipelines into one harness
+// per table and figure of the paper. Each RunX method regenerates the
+// corresponding artefact (at simulation scale) and renders the same rows
+// or series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"torhs/internal/core/content"
+	"torhs/internal/core/deanon"
+	"torhs/internal/core/popularity"
+	"torhs/internal/core/scan"
+	"torhs/internal/core/tracking"
+	"torhs/internal/core/trawl"
+	"torhs/internal/core/webcrawl"
+	"torhs/internal/darknet"
+	"torhs/internal/geo"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/relaynet"
+	"torhs/internal/simnet"
+)
+
+// Config parameterises a full study.
+type Config struct {
+	// Seed drives every random component.
+	Seed int64
+	// Scale shrinks the hidden-service population (1.0 = the paper's
+	// 39,824 services).
+	Scale float64
+	// Clients is the simulated client population for traffic-driven
+	// experiments.
+	Clients int
+	// TrawlIPs / TrawlSteps size the collection fleet.
+	TrawlIPs   int
+	TrawlSteps int
+	// Relays sizes the honest relay network for traffic experiments.
+	Relays int
+}
+
+// DefaultConfig runs a laptop-scale study whose shapes match the paper.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:       seed,
+		Scale:      0.05,
+		Clients:    1500,
+		TrawlIPs:   30,
+		TrawlSteps: 8,
+		Relays:     350,
+	}
+}
+
+// Study owns the shared substrates: one population, one fabric, one geo
+// database.
+type Study struct {
+	cfg    Config
+	pop    *hspop.Population
+	fabric *darknet.Fabric
+	geoDB  *geo.DB
+}
+
+// NewStudy generates the population and fabric.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("experiments: scale %v out of (0,1]", cfg.Scale)
+	}
+	popCfg := hspop.PaperConfig(cfg.Seed)
+	popCfg.Scale = cfg.Scale
+	pop, err := hspop.Generate(popCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &Study{cfg: cfg, pop: pop, fabric: darknet.New(pop), geoDB: db}, nil
+}
+
+// Population exposes the generated landscape.
+func (s *Study) Population() *hspop.Population { return s.pop }
+
+// Fabric exposes the reachability fabric.
+func (s *Study) Fabric() *darknet.Fabric { return s.fabric }
+
+// addresses returns every onion address in the population (the trawled
+// collection).
+func (s *Study) addresses() []onion.Address {
+	out := make([]onion.Address, 0, s.pop.Len())
+	for _, svc := range s.pop.Services {
+		out = append(out, svc.Address)
+	}
+	return out
+}
+
+// newRelayNetwork builds a one-day honest network and returns its first
+// consensus.
+func (s *Study) newRelayNetwork(seedOffset int64) (*relaynet.Sim, error) {
+	fleet := relaynet.DefaultFleetConfig(s.cfg.Seed + seedOffset)
+	fleet.Days = 1
+	fleet.InitialRelays = s.cfg.Relays
+	fleet.FinalRelays = s.cfg.Relays
+	return relaynet.NewSim(fleet)
+}
+
+// CollectionComparison quantifies the paper's motivating gap: link-graph
+// crawling (Hidden-Wiki baseline) vs the trawling attack.
+type CollectionComparison struct {
+	Published       int
+	CrawlDiscovered int
+	CrawlFraction   float64
+	TrawlCollected  int
+	TrawlFraction   float64
+}
+
+// RunCollectionComparison executes the baseline link crawl and the
+// trawling attack over the same population (E0, the introduction's
+// motivation).
+func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
+	wc, err := webcrawl.New(s.fabric, webcrawl.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var seeds []onion.Address
+	for _, svc := range s.pop.Services {
+		switch svc.Label {
+		case "TorDir", "Onion Bookmarks", "SilkRoad(wiki)", "Tor Host":
+			seeds = append(seeds, svc.Address)
+		}
+	}
+	crawlRes := wc.Crawl(seeds)
+
+	sim, err := s.newRelayNetwork(4)
+	if err != nil {
+		return nil, err
+	}
+	tCfg := trawl.DefaultConfig(s.cfg.Seed)
+	tCfg.IPs = s.cfg.TrawlIPs
+	tCfg.Steps = s.cfg.TrawlSteps
+	tCfg.DriveTraffic = false
+	tr, err := trawl.NewTrawler(tCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := relaynet.DefaultFleetConfig(s.cfg.Seed).Start.Add(48 * time.Hour)
+	tr.Deploy(sim, start)
+	harvest, err := tr.Run(sim, s.pop, s.geoDB, start)
+	if err != nil {
+		return nil, err
+	}
+
+	published := len(s.pop.WithDescriptor())
+	out := &CollectionComparison{
+		Published:       published,
+		CrawlDiscovered: len(crawlRes.Discovered),
+		TrawlCollected:  len(harvest.Addresses),
+	}
+	if published > 0 {
+		out.CrawlFraction = float64(out.CrawlDiscovered) / float64(published)
+		out.TrawlFraction = float64(out.TrawlCollected) / float64(published)
+	}
+	return out, nil
+}
+
+// PrefixCluster is a group of onion addresses sharing a vanity prefix —
+// the paper noticed 15 addresses with prefix "silkroa", at least one a
+// phishing imitation of the Silk Road login page.
+type PrefixCluster struct {
+	Prefix    string
+	Addresses []onion.Address
+	Labels    []string
+}
+
+// RunPrefixAudit groups the collected addresses by their first prefixLen
+// characters and reports clusters of at least minSize addresses.
+func (s *Study) RunPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
+	if prefixLen <= 0 || prefixLen >= 16 {
+		return nil, fmt.Errorf("experiments: prefix length %d out of (0,16)", prefixLen)
+	}
+	if minSize < 2 {
+		return nil, fmt.Errorf("experiments: cluster size %d must be >= 2", minSize)
+	}
+	groups := make(map[string][]*hspop.Service)
+	for _, svc := range s.pop.Services {
+		if !svc.DescriptorAtScan {
+			continue
+		}
+		p := string(svc.Address[:prefixLen])
+		groups[p] = append(groups[p], svc)
+	}
+	var out []PrefixCluster
+	for prefix, members := range groups {
+		if len(members) < minSize {
+			continue
+		}
+		c := PrefixCluster{Prefix: prefix}
+		for _, m := range members {
+			c.Addresses = append(c.Addresses, m.Address)
+			c.Labels = append(c.Labels, m.Label)
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Addresses) != len(out[j].Addresses) {
+			return len(out[i].Addresses) > len(out[j].Addresses)
+		}
+		return out[i].Prefix < out[j].Prefix
+	})
+	return out, nil
+}
+
+// RunScan executes E1 (Fig. 1) and the certificate audit (E2).
+func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
+	sc, err := scan.New(s.fabric, scan.DefaultConfig(s.cfg.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	res := sc.ScanAll(s.addresses())
+	return res, sc.AuditCertificates(res), nil
+}
+
+// RunContent executes E3–E5 (Table I, language mix, Fig. 2), feeding the
+// crawl with the scan's destinations.
+func (s *Study) RunContent(scanRes *scan.Result) (*content.Result, error) {
+	cr, err := content.New(s.fabric, content.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return cr.Crawl(content.DestinationsFromPorts(scanRes.PerAddress))
+}
+
+// PopularityResult bundles E6 (Table II) artefacts.
+type PopularityResult struct {
+	Harvest    *trawl.Harvest
+	Resolution *popularity.Resolution
+	Ranking    []popularity.RankEntry
+	// PublishedEver / RequestedPublished reproduce the "only 10% of
+	// published descriptors were ever requested" observation.
+	PublishedEver      int
+	RequestedPublished int
+}
+
+// RunPopularity executes the trawl with traffic and resolves the request
+// log (E6, Table II).
+func (s *Study) RunPopularity() (*PopularityResult, error) {
+	sim, err := s.newRelayNetwork(1)
+	if err != nil {
+		return nil, err
+	}
+	tCfg := trawl.DefaultConfig(s.cfg.Seed)
+	tCfg.IPs = s.cfg.TrawlIPs
+	tCfg.Steps = s.cfg.TrawlSteps
+	tCfg.ClientConfig.Clients = s.cfg.Clients
+	tr, err := trawl.NewTrawler(tCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := relaynet.DefaultFleetConfig(s.cfg.Seed).Start.Add(48 * time.Hour)
+	tr.Deploy(sim, start)
+	harvest, err := tr.Run(sim, s.pop, s.geoDB, start)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve over a ±days window, as the paper does (28 Jan – 8 Feb).
+	services := make(map[onion.Address]onion.PermanentID, len(harvest.PermIDs))
+	for addr, id := range harvest.PermIDs {
+		services[addr] = id
+	}
+	ix, err := popularity.BuildIndex(services, start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	res := popularity.Resolve(harvest.Log.CountsByID(), ix)
+	ranking := popularity.Rank(res, func(a onion.Address) string {
+		if svc, ok := s.pop.ByAddress(a); ok {
+			return svc.Label
+		}
+		return ""
+	})
+	return &PopularityResult{
+		Harvest:    harvest,
+		Resolution: res,
+		Ranking:    ranking,
+	}, nil
+}
+
+// RunDeanon executes E7 (Fig. 3): deanonymise the clients of the most
+// popular Goldnet front.
+func (s *Study) RunDeanon() (*deanon.Report, error) {
+	sim, err := s.newRelayNetwork(2)
+	if err != nil {
+		return nil, err
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	doc := h.All()[0]
+	netCfg := simnet.DefaultConfig(s.cfg.Seed)
+	netCfg.Clients = s.cfg.Clients
+	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
+	if err != nil {
+		return nil, err
+	}
+	now := doc.ValidAfter
+	net.PublishAll(s.pop, now)
+
+	target := s.pop.Services[0] // rank-1 Goldnet front
+	cfg := deanon.DefaultConfig(s.cfg.Seed)
+	return deanon.Run(net, s.pop, target, now, cfg)
+}
+
+// RunServiceDeanon executes the Section II-B dependency experiment: the
+// original [8] guard attack against the hidden service itself, applied to
+// the Silk Road stand-in over a month of daily descriptor uploads.
+func (s *Study) RunServiceDeanon() (*deanon.ServiceReport, error) {
+	sim, err := s.newRelayNetwork(3)
+	if err != nil {
+		return nil, err
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		return nil, err
+	}
+	doc := h.All()[0]
+	netCfg := simnet.DefaultConfig(s.cfg.Seed)
+	netCfg.Clients = 10 // client traffic is irrelevant here
+	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var target *hspop.Service
+	for _, svc := range s.pop.Services {
+		if svc.Label == "SilkRoad" {
+			target = svc
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("experiments: no SilkRoad service in population")
+	}
+	return deanon.RunServiceSide(net, target, doc.ValidAfter, deanon.DefaultServiceConfig(s.cfg.Seed))
+}
+
+// TrackingResult bundles E8 artefacts.
+type TrackingResult struct {
+	Scenario *tracking.Scenario
+	Report   *tracking.Report
+}
+
+// RunTracking executes E8: build the Silk Road consensus history with
+// planted trackers and detect them.
+func (s *Study) RunTracking() (*TrackingResult, error) {
+	sc, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(s.cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	an, err := tracking.NewAnalyzer(tracking.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := an.Analyze(sc.History, sc.Target, sc.Start,
+		sc.Start.Add(time.Duration(tracking.DefaultScenarioConfig(s.cfg.Seed).Days)*24*time.Hour))
+	if err != nil {
+		return nil, err
+	}
+	return &TrackingResult{Scenario: sc, Report: rep}, nil
+}
+
+// RunAll executes every experiment and renders the results to w.
+func (s *Study) RunAll(w io.Writer) error {
+	comparison, err := s.RunCollectionComparison()
+	if err != nil {
+		return fmt.Errorf("collection comparison: %w", err)
+	}
+	RenderCollectionComparison(w, comparison)
+
+	scanRes, audit, err := s.RunScan()
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	RenderFig1(w, scanRes)
+	RenderCertAudit(w, audit)
+
+	contentRes, err := s.RunContent(scanRes)
+	if err != nil {
+		return fmt.Errorf("content: %w", err)
+	}
+	RenderTableI(w, contentRes)
+	RenderLanguages(w, contentRes)
+	RenderFig2(w, contentRes)
+
+	clusters, err := s.RunPrefixAudit(7, 3)
+	if err != nil {
+		return fmt.Errorf("prefix audit: %w", err)
+	}
+	RenderPrefixAudit(w, clusters)
+
+	popRes, err := s.RunPopularity()
+	if err != nil {
+		return fmt.Errorf("popularity: %w", err)
+	}
+	RenderTableII(w, popRes, 30)
+
+	deaRes, err := s.RunDeanon()
+	if err != nil {
+		return fmt.Errorf("deanon: %w", err)
+	}
+	RenderFig3(w, deaRes)
+
+	svcRes, err := s.RunServiceDeanon()
+	if err != nil {
+		return fmt.Errorf("service deanon: %w", err)
+	}
+	RenderServiceDeanon(w, svcRes)
+
+	trackRes, err := s.RunTracking()
+	if err != nil {
+		return fmt.Errorf("tracking: %w", err)
+	}
+	RenderTracking(w, trackRes)
+	return nil
+}

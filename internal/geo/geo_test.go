@@ -1,0 +1,82 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewDBRejectsBadInput(t *testing.T) {
+	if _, err := NewDB(nil); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := NewDB([]CountryShare{{Code: "US", Weight: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewDB([]CountryShare{{Code: "US", Weight: 1}, {Code: "US", Weight: 2}}); err == nil {
+		t.Fatal("duplicate country accepted")
+	}
+}
+
+func TestAllocateLookupRoundTrip(t *testing.T) {
+	db, err := NewDB(DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		ip, country := db.AllocateIP(rng)
+		got, err := db.Lookup(ip)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", ip, err)
+		}
+		if got != country {
+			t.Fatalf("Lookup(%s) = %s, want %s", ip, got, country)
+		}
+	}
+}
+
+func TestAllocationFollowsWeights(t *testing.T) {
+	db, err := NewDB([]CountryShare{{Code: "AA", Weight: 9}, {Code: "BB", Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		_, c := db.AllocateIP(rng)
+		counts[c]++
+	}
+	frac := float64(counts["AA"]) / 5000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("AA share = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	db, err := NewDB(DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ip := range []string{"", "notanip", "999.1.1.1", ".1.2.3", "5.1.1.1"} {
+		if _, err := db.Lookup(ip); err == nil {
+			t.Fatalf("Lookup(%q) succeeded, want error", ip)
+		}
+	}
+}
+
+func TestCountriesSortedAndComplete(t *testing.T) {
+	mix := DefaultBotnetMix()
+	db, err := NewDB(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.Countries()
+	if len(got) != len(mix) {
+		t.Fatalf("countries = %d, want %d", len(got), len(mix))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("countries not sorted")
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package hsdir
+
+import (
+	"sync"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// Directory is the descriptor store operated by one HSDir relay.
+// Descriptors expire after TTL (24 h on the 2013 network: directories
+// responsible for the previous time period erase old descriptors). Every
+// fetch is recorded in the request log — this is exactly the vantage point
+// the paper's popularity measurement exploits.
+type Directory struct {
+	mu sync.Mutex
+
+	fingerprint onion.Fingerprint
+	ttl         time.Duration
+
+	store map[onion.DescriptorID]storedDescriptor
+	log   *RequestLog
+
+	// requestedIDs tracks which stored descriptor IDs were ever fetched,
+	// for the paper's "only 10% of published descriptors were ever
+	// requested" statistic.
+	publishedEver map[onion.DescriptorID]bool
+	requestedEver map[onion.DescriptorID]bool
+}
+
+type storedDescriptor struct {
+	desc      *onion.Descriptor
+	expiresAt time.Time
+}
+
+// NewDirectory creates a directory for the relay with fingerprint fp.
+// ttl <= 0 defaults to 24 hours.
+func NewDirectory(fp onion.Fingerprint, ttl time.Duration) *Directory {
+	if ttl <= 0 {
+		ttl = 24 * time.Hour
+	}
+	return &Directory{
+		fingerprint:   fp,
+		ttl:           ttl,
+		store:         make(map[onion.DescriptorID]storedDescriptor),
+		log:           NewRequestLog(),
+		publishedEver: make(map[onion.DescriptorID]bool),
+		requestedEver: make(map[onion.DescriptorID]bool),
+	}
+}
+
+// Fingerprint returns the operating relay's fingerprint.
+func (d *Directory) Fingerprint() onion.Fingerprint { return d.fingerprint }
+
+// Publish stores a descriptor at instant now, replacing any previous
+// descriptor under the same ID and refreshing its expiry.
+func (d *Directory) Publish(desc *onion.Descriptor, now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.store[desc.DescID] = storedDescriptor{desc: desc, expiresAt: now.Add(d.ttl)}
+	d.publishedEver[desc.DescID] = true
+}
+
+// Fetch looks up a descriptor by ID at instant now, recording the request.
+// Expired descriptors are treated as absent (and reaped).
+func (d *Directory) Fetch(id onion.DescriptorID, now time.Time) (*onion.Descriptor, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sd, ok := d.store[id]
+	if ok && now.After(sd.expiresAt) {
+		delete(d.store, id)
+		ok = false
+	}
+	d.log.record(Request{At: now, DescID: id, Found: ok})
+	if ok {
+		d.requestedEver[id] = true
+		return sd.desc, true
+	}
+	return nil, false
+}
+
+// Expire reaps all descriptors that have expired as of now and returns the
+// number removed.
+func (d *Directory) Expire(now time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for id, sd := range d.store {
+		if now.After(sd.expiresAt) {
+			delete(d.store, id)
+			n++
+		}
+	}
+	return n
+}
+
+// All returns the currently stored descriptors in unspecified order. This
+// is the harvesting vantage point: an attacker operating the directory
+// reads out every descriptor uploaded to it.
+func (d *Directory) All() []*onion.Descriptor {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*onion.Descriptor, 0, len(d.store))
+	for _, sd := range d.store {
+		out = append(out, sd.desc)
+	}
+	return out
+}
+
+// Stored returns the number of live descriptors.
+func (d *Directory) Stored() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.store)
+}
+
+// Log returns the directory's request log.
+func (d *Directory) Log() *RequestLog { return d.log }
+
+// PublishedEver returns how many distinct descriptor IDs were ever stored.
+func (d *Directory) PublishedEver() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.publishedEver)
+}
+
+// RequestedPublishedEver returns how many distinct *published* descriptor
+// IDs were ever fetched — numerator of the paper's 10% statistic.
+func (d *Directory) RequestedPublishedEver() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for id := range d.requestedEver {
+		if d.publishedEver[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// PublishedIDs returns every descriptor ID ever stored on this directory.
+func (d *Directory) PublishedIDs() []onion.DescriptorID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]onion.DescriptorID, 0, len(d.publishedEver))
+	for id := range d.publishedEver {
+		out = append(out, id)
+	}
+	return out
+}
+
+// RequestedPublishedIDs returns the stored descriptor IDs that were ever
+// fetched by a client.
+func (d *Directory) RequestedPublishedIDs() []onion.DescriptorID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]onion.DescriptorID, 0, len(d.requestedEver))
+	for id := range d.requestedEver {
+		if d.publishedEver[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

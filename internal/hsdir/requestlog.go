@@ -1,0 +1,99 @@
+package hsdir
+
+import (
+	"sync"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// Request is one descriptor fetch observed by a directory.
+type Request struct {
+	At     time.Time
+	DescID onion.DescriptorID
+	// Found reports whether a live descriptor was stored under the ID.
+	// The paper found 80% of live-network requests were for descriptors
+	// that were never published.
+	Found bool
+}
+
+// RequestLog accumulates descriptor fetches. It is safe for concurrent
+// use and supports merging, since the trawling attack aggregates logs from
+// many attacker-operated directories.
+type RequestLog struct {
+	mu       sync.Mutex
+	requests []Request
+	perID    map[onion.DescriptorID]int
+	found    int
+}
+
+// NewRequestLog returns an empty log.
+func NewRequestLog() *RequestLog {
+	return &RequestLog{perID: make(map[onion.DescriptorID]int)}
+}
+
+func (l *RequestLog) record(r Request) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests = append(l.requests, r)
+	l.perID[r.DescID]++
+	if r.Found {
+		l.found++
+	}
+}
+
+// Record appends a request observation. Exposed for components (such as
+// the simnet client driver) that observe fetches outside a Directory.
+func (l *RequestLog) Record(r Request) { l.record(r) }
+
+// Total returns the total number of requests.
+func (l *RequestLog) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.requests)
+}
+
+// UniqueIDs returns the number of distinct descriptor IDs requested.
+func (l *RequestLog) UniqueIDs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.perID)
+}
+
+// FoundFraction returns the fraction of requests that hit a stored
+// descriptor (0 when the log is empty).
+func (l *RequestLog) FoundFraction() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.requests) == 0 {
+		return 0
+	}
+	return float64(l.found) / float64(len(l.requests))
+}
+
+// CountsByID returns a copy of the per-descriptor-ID request counts.
+func (l *RequestLog) CountsByID() map[onion.DescriptorID]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[onion.DescriptorID]int, len(l.perID))
+	for id, n := range l.perID {
+		out[id] = n
+	}
+	return out
+}
+
+// Requests returns a copy of all recorded requests in arrival order.
+func (l *RequestLog) Requests() []Request {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Request, len(l.requests))
+	copy(out, l.requests)
+	return out
+}
+
+// Merge folds other's requests into l. The other log is left unchanged.
+func (l *RequestLog) Merge(other *RequestLog) {
+	for _, r := range other.Requests() {
+		l.record(r)
+	}
+}

@@ -1,0 +1,75 @@
+package hspop
+
+import "torhs/internal/corpus"
+
+// HeadEntry is one named service from Table II of the paper: a popularity
+// rank, its observed request count over the 2-hour window, the label the
+// paper assigned, and the behavioural kind we model it with.
+type HeadEntry struct {
+	Rank     int
+	Requests int
+	Label    string
+	Kind     Kind
+	// PhysServer groups the Goldnet fronts onto two physical machines
+	// (the paper matched their Apache uptimes).
+	PhysServer int
+	// Topic for KindWeb head entries (Adult sites, markets, …).
+	Topic corpus.Topic
+}
+
+// TableIIHead reproduces every row of Table II the paper prints,
+// plus one below-top-30 Goldnet front so the Goldnet family has the nine
+// members the text describes.
+func TableIIHead() []HeadEntry {
+	return []HeadEntry{
+		{Rank: 1, Requests: 13714, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 1},
+		{Rank: 2, Requests: 11582, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 1},
+		{Rank: 3, Requests: 11315, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 2},
+		{Rank: 4, Requests: 7324, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 1},
+		{Rank: 5, Requests: 7183, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 2},
+		{Rank: 6, Requests: 6852, Label: "<n/a>", Kind: KindGoldnetCC, PhysServer: 1},
+		{Rank: 7, Requests: 6528, Label: "Goldnet", Kind: KindGoldnetCC, PhysServer: 2},
+		{Rank: 8, Requests: 4941, Label: "<n/a>", Kind: KindGoldnetCC, PhysServer: 2},
+		{Rank: 9, Requests: 3746, Label: "BcMine", Kind: KindBitcoinMine},
+		{Rank: 10, Requests: 3678, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 11, Requests: 2573, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 12, Requests: 1950, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 13, Requests: 1863, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 14, Requests: 1665, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 15, Requests: 1631, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 16, Requests: 1481, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 17, Requests: 1326, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 18, Requests: 1175, Label: "SilkRoad", Kind: KindWeb, Topic: corpus.TopicDrugs},
+		{Rank: 19, Requests: 1094, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 20, Requests: 1021, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 21, Requests: 942, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 22, Requests: 899, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 23, Requests: 898, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 24, Requests: 889, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 25, Requests: 781, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 26, Requests: 746, Label: "<n/a>", Kind: KindWeb, Topic: corpus.TopicOther},
+		{Rank: 27, Requests: 694, Label: "FreedomHosting", Kind: KindWeb, Topic: corpus.TopicAnonymity},
+		{Rank: 28, Requests: 667, Label: "Skynet", Kind: KindSkynetCC},
+		{Rank: 29, Requests: 585, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		{Rank: 30, Requests: 542, Label: "Adult", Kind: KindWeb, Topic: corpus.TopicAdult},
+		// Ninth Goldnet front, just below the printed top 30.
+		{Rank: 31, Requests: 520, Label: "<n/a>", Kind: KindGoldnetCC, PhysServer: 1},
+		{Rank: 34, Requests: 453, Label: "SilkRoad(wiki)", Kind: KindWeb, Topic: corpus.TopicFAQsTutorials},
+		{Rank: 47, Requests: 255, Label: "TorDir", Kind: KindWeb, Topic: corpus.TopicOther},
+		{Rank: 62, Requests: 172, Label: "BlckMrktReloaded", Kind: KindWeb, Topic: corpus.TopicDrugs},
+		{Rank: 157, Requests: 55, Label: "DuckDuckGo", Kind: KindWeb, Topic: corpus.TopicTechnology},
+		{Rank: 250, Requests: 30, Label: "Onion Bookmarks", Kind: KindWeb, Topic: corpus.TopicOther},
+		{Rank: 547, Requests: 10, Label: "Tor Host", Kind: KindWeb, Topic: corpus.TopicAnonymity},
+	}
+}
+
+// headAnchors returns the (rank, count) interpolation anchors for the
+// popularity tail, in ascending rank order.
+func headAnchors() [][2]int {
+	entries := TableIIHead()
+	anchors := make([][2]int, 0, len(entries))
+	for _, e := range entries {
+		anchors = append(anchors, [2]int{e.Rank, e.Requests})
+	}
+	return anchors
+}

@@ -1,0 +1,321 @@
+// Package onion implements Tor v2 hidden-service identity material:
+// identity keys, onion addresses, relay fingerprints, and the rend-spec-v2
+// descriptor-ID schedule that governs which hidden-service directories are
+// responsible for a service at any given time.
+//
+// The implementation follows rend-spec.txt (version 2, the protocol in
+// force in February 2013 when the paper's measurements were taken):
+//
+//	permanent-id   = first 10 bytes of SHA1(public-key)
+//	onion address  = base32(permanent-id) + ".onion"
+//	time-period    = (current-time + permanent-id-byte-0 * 86400 / 256) / 86400
+//	secret-id-part = SHA1(time-period | replica)
+//	descriptor-id  = SHA1(permanent-id | secret-id-part)
+//
+// Identity keys are modelled as opaque DER-like byte blobs rather than real
+// RSA-1024 keys: every downstream computation consumes only the SHA-1
+// digest of the key, which is uniformly distributed either way (see
+// DESIGN.md, substitution table).
+package onion
+
+import (
+	"crypto/sha1"
+	"encoding/base32"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+const (
+	// PermanentIDLen is the length in bytes of a hidden-service permanent
+	// identifier (the truncated SHA-1 digest of the identity key).
+	PermanentIDLen = 10
+
+	// AddressLen is the length of a v2 onion address without the ".onion"
+	// suffix: base32 of 10 bytes = 16 characters.
+	AddressLen = 16
+
+	// KeyLen is the length of the synthetic DER-like identity-key blob.
+	// 140 bytes matches the typical DER length of an RSA-1024 public key.
+	KeyLen = 140
+
+	// Replicas is the number of descriptor replicas a hidden service
+	// publishes per time period. Each replica has its own descriptor ID
+	// and its own set of responsible directories.
+	Replicas = 2
+
+	// SpreadPerReplica is the number of consecutive ring positions that
+	// store one replica, so Replicas*SpreadPerReplica directories are
+	// responsible for a service in each time period.
+	SpreadPerReplica = 3
+
+	// PeriodLength is the duration of one descriptor time period.
+	PeriodLength = 24 * time.Hour
+)
+
+var b32 = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+// IdentityKey is a hidden-service (or relay) identity public key. It is an
+// opaque blob; only its SHA-1 digest matters to the protocol.
+type IdentityKey []byte
+
+// GenerateKey draws a fresh synthetic identity key from rng.
+func GenerateKey(rng *rand.Rand) IdentityKey {
+	k := make(IdentityKey, KeyLen)
+	for i := range k {
+		k[i] = byte(rng.Intn(256))
+	}
+	return k
+}
+
+// Digest returns the full 20-byte SHA-1 digest of the key.
+func (k IdentityKey) Digest() [sha1.Size]byte { return sha1.Sum(k) }
+
+// PermanentID is the 10-byte truncated key digest identifying a hidden
+// service.
+type PermanentID [PermanentIDLen]byte
+
+// PermanentID derives the service's permanent identifier from the key.
+func (k IdentityKey) PermanentID() PermanentID {
+	d := k.Digest()
+	var id PermanentID
+	copy(id[:], d[:PermanentIDLen])
+	return id
+}
+
+// Address is a v2 onion address: 16 lowercase base32 characters, without
+// the ".onion" suffix.
+type Address string
+
+// AddressFromID encodes a permanent identifier as an onion address.
+func AddressFromID(id PermanentID) Address {
+	return Address(strings.ToLower(b32.EncodeToString(id[:])))
+}
+
+// AddressFromKey derives the onion address of the given identity key.
+func AddressFromKey(k IdentityKey) Address {
+	return AddressFromID(k.PermanentID())
+}
+
+// errors returned by address parsing.
+var (
+	ErrBadAddressLength  = errors.New("onion: address must be 16 base32 characters")
+	ErrBadAddressCharset = errors.New("onion: address contains invalid base32 characters")
+)
+
+// ParseAddress validates s (with or without a ".onion" suffix) and returns
+// the canonical Address and its decoded permanent identifier.
+func ParseAddress(s string) (Address, PermanentID, error) {
+	s = strings.ToLower(strings.TrimSuffix(strings.TrimSpace(s), ".onion"))
+	var id PermanentID
+	if len(s) != AddressLen {
+		return "", id, fmt.Errorf("%w: got %d", ErrBadAddressLength, len(s))
+	}
+	raw, err := b32.DecodeString(strings.ToUpper(s))
+	if err != nil {
+		return "", id, fmt.Errorf("%w: %q", ErrBadAddressCharset, s)
+	}
+	copy(id[:], raw)
+	return Address(s), id, nil
+}
+
+// String returns the address with the ".onion" suffix, as a user would see
+// it.
+func (a Address) String() string { return string(a) + ".onion" }
+
+// ID decodes the address back to its permanent identifier. The address is
+// assumed valid (constructed by this package); invalid input yields the
+// zero ID and false.
+func (a Address) ID() (PermanentID, bool) {
+	_, id, err := ParseAddress(string(a))
+	if err != nil {
+		return PermanentID{}, false
+	}
+	return id, true
+}
+
+// VanityPermanentID constructs a permanent identifier whose onion
+// address begins with the given base32 prefix, filling the remaining
+// characters randomly. It models the result of vanity-address mining
+// (brute-forcing keys until the address prefix matches — ~32^len tries);
+// the returned identifier has no corresponding key material.
+func VanityPermanentID(prefix string, rng *rand.Rand) (PermanentID, error) {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz234567"
+	prefix = strings.ToLower(prefix)
+	if len(prefix) >= AddressLen {
+		return PermanentID{}, fmt.Errorf("onion: vanity prefix %q too long", prefix)
+	}
+	full := prefix
+	for len(full) < AddressLen {
+		full += string(alphabet[rng.Intn(len(alphabet))])
+	}
+	_, id, err := ParseAddress(full)
+	if err != nil {
+		return PermanentID{}, fmt.Errorf("onion: vanity prefix %q: %w", prefix, err)
+	}
+	return id, nil
+}
+
+// DescriptorID is the 20-byte identifier under which one replica of a
+// hidden-service descriptor is stored for one time period. Descriptor IDs
+// live in the same SHA-1 space as relay fingerprints; responsible
+// directories are the fingerprints that follow the descriptor ID on the
+// ring.
+type DescriptorID [sha1.Size]byte
+
+// Hex returns the lowercase hex form of the descriptor ID.
+func (d DescriptorID) Hex() string { return hex.EncodeToString(d[:]) }
+
+// Less reports whether d sorts before other when descriptor IDs and
+// fingerprints are compared as big-endian integers.
+func (d DescriptorID) Less(other DescriptorID) bool {
+	for i := range d {
+		if d[i] != other[i] {
+			return d[i] < other[i]
+		}
+	}
+	return false
+}
+
+// TimePeriod computes the rend-spec-v2 time-period number for a service at
+// instant t. The first byte of the permanent ID staggers period rollover
+// across services so the whole network does not re-upload descriptors at
+// midnight simultaneously.
+func TimePeriod(id PermanentID, t time.Time) uint32 {
+	unix := uint64(t.Unix())
+	offset := uint64(id[0]) * 86400 / 256
+	return uint32((unix + offset) / 86400)
+}
+
+// ComputeDescriptorID derives the descriptor ID for one replica of a
+// service in the time period containing t.
+func ComputeDescriptorID(id PermanentID, t time.Time, replica uint8) DescriptorID {
+	return descriptorIDForPeriod(id, TimePeriod(id, t), replica)
+}
+
+func descriptorIDForPeriod(id PermanentID, period uint32, replica uint8) DescriptorID {
+	var buf [5]byte
+	binary.BigEndian.PutUint32(buf[:4], period)
+	buf[4] = replica
+	secret := sha1.Sum(buf[:])
+
+	h := sha1.New()
+	h.Write(id[:])
+	h.Write(secret[:])
+	var out DescriptorID
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// DescriptorIDs returns the descriptor IDs of all replicas of a service in
+// the time period containing t, in replica order.
+func DescriptorIDs(id PermanentID, t time.Time) [Replicas]DescriptorID {
+	var out [Replicas]DescriptorID
+	period := TimePeriod(id, t)
+	for r := 0; r < Replicas; r++ {
+		out[r] = descriptorIDForPeriod(id, period, uint8(r))
+	}
+	return out
+}
+
+// DescriptorIDsOverRange enumerates the descriptor IDs a service uses for
+// every time period intersecting [from, to]. It is the building block of
+// popularity resolution: client requests carry only descriptor IDs, and
+// the measurement pipeline re-derives candidate IDs over a date window to
+// map requests back to onion addresses (tolerating clients with wrong
+// clocks, as the paper does for 28 Jan–8 Feb 2013).
+func DescriptorIDsOverRange(id PermanentID, from, to time.Time) []DescriptorID {
+	if to.Before(from) {
+		from, to = to, from
+	}
+	first := TimePeriod(id, from)
+	last := TimePeriod(id, to)
+	out := make([]DescriptorID, 0, int(last-first+1)*Replicas)
+	for p := first; p <= last; p++ {
+		for r := 0; r < Replicas; r++ {
+			out = append(out, descriptorIDForPeriod(id, p, uint8(r)))
+		}
+	}
+	return out
+}
+
+// Fingerprint is a relay identity fingerprint: the SHA-1 digest of the
+// relay's identity key. Fingerprints and descriptor IDs share one ring.
+type Fingerprint [sha1.Size]byte
+
+// FingerprintFromKey derives a relay fingerprint from its identity key.
+func FingerprintFromKey(k IdentityKey) Fingerprint {
+	return Fingerprint(k.Digest())
+}
+
+// RandomFingerprint draws a uniform fingerprint from rng. Used by
+// population generators and property tests.
+func RandomFingerprint(rng *rand.Rand) Fingerprint {
+	var f Fingerprint
+	for i := range f {
+		f[i] = byte(rng.Intn(256))
+	}
+	return f
+}
+
+// Hex returns the uppercase hex form, as consensus documents print it.
+func (f Fingerprint) Hex() string {
+	return strings.ToUpper(hex.EncodeToString(f[:]))
+}
+
+// Less reports whether f sorts before other as big-endian integers.
+func (f Fingerprint) Less(other Fingerprint) bool {
+	for i := range f {
+		if f[i] != other[i] {
+			return f[i] < other[i]
+		}
+	}
+	return false
+}
+
+// Compare returns -1, 0, or 1 comparing f with other as big-endian
+// integers.
+func (f Fingerprint) Compare(other Fingerprint) int {
+	for i := range f {
+		switch {
+		case f[i] < other[i]:
+			return -1
+		case f[i] > other[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Distance returns the forward ring distance from id to f interpreted as
+// 160-bit big-endian integers, i.e. (f - id) mod 2^160. Tracking detection
+// uses this to quantify how suspiciously close a relay positioned its
+// fingerprint to a target descriptor ID.
+func Distance(id DescriptorID, f Fingerprint) *RingInt {
+	a := ringIntFromBytes(f[:])
+	b := ringIntFromBytes(id[:])
+	return a.SubMod(b)
+}
+
+// Descriptor is a v2 hidden-service descriptor: the public blob a service
+// uploads to its responsible directories and clients fetch by descriptor
+// ID.
+type Descriptor struct {
+	// DescID is the ID under which this replica is stored.
+	DescID DescriptorID
+	// Address is the service's onion address (derivable from PermID, kept
+	// for convenience).
+	Address Address
+	// PermID is the service's permanent identifier.
+	PermID PermanentID
+	// Replica is the replica number (0-based).
+	Replica uint8
+	// PublishedAt is the upload instant.
+	PublishedAt time.Time
+	// IntroPoints lists the fingerprints of the introduction points.
+	IntroPoints []Fingerprint
+}

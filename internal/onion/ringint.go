@@ -1,0 +1,162 @@
+package onion
+
+import (
+	"encoding/hex"
+	"math"
+)
+
+// RingInt is a 160-bit unsigned integer in big-endian byte order. It is
+// the arithmetic domain of the HSDir ring: fingerprints and descriptor IDs
+// are 160-bit values and "distance" between them is subtraction mod 2^160.
+type RingInt struct {
+	b [20]byte
+}
+
+func ringIntFromBytes(src []byte) *RingInt {
+	var r RingInt
+	copy(r.b[20-len(src):], src)
+	return &r
+}
+
+// RingIntFromFingerprint converts a fingerprint to its ring integer.
+func RingIntFromFingerprint(f Fingerprint) *RingInt { return ringIntFromBytes(f[:]) }
+
+// RingIntFromDescriptorID converts a descriptor ID to its ring integer.
+func RingIntFromDescriptorID(d DescriptorID) *RingInt { return ringIntFromBytes(d[:]) }
+
+// SubMod returns (r - other) mod 2^160 as a new RingInt.
+func (r *RingInt) SubMod(other *RingInt) *RingInt {
+	var out RingInt
+	var borrow int
+	for i := 19; i >= 0; i-- {
+		d := int(r.b[i]) - int(other.b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out.b[i] = byte(d)
+	}
+	return &out
+}
+
+// Add returns (r + other) mod 2^160 as a new RingInt.
+func (r *RingInt) Add(other *RingInt) *RingInt {
+	var out RingInt
+	var carry int
+	for i := 19; i >= 0; i-- {
+		s := int(r.b[i]) + int(other.b[i]) + carry
+		out.b[i] = byte(s)
+		carry = s >> 8
+	}
+	return &out
+}
+
+// DivScalar returns r / n (integer division) for n > 0; n == 0 yields
+// zero.
+func (r *RingInt) DivScalar(n uint64) *RingInt {
+	var out RingInt
+	if n == 0 {
+		return &out
+	}
+	var rem uint64
+	for i := 0; i < 20; i++ {
+		cur := rem*256 + uint64(r.b[i])
+		out.b[i] = byte(cur / n)
+		rem = cur % n
+	}
+	return &out
+}
+
+// MulScalar returns (r * n) mod 2^160.
+func (r *RingInt) MulScalar(n uint64) *RingInt {
+	var out RingInt
+	var carry uint64
+	for i := 19; i >= 0; i-- {
+		cur := uint64(r.b[i])*n + carry
+		out.b[i] = byte(cur)
+		carry = cur >> 8
+	}
+	return &out
+}
+
+// Fingerprint converts the ring integer back to a fingerprint.
+func (r *RingInt) Fingerprint() Fingerprint {
+	var f Fingerprint
+	copy(f[:], r.b[:])
+	return f
+}
+
+// MaxRingAvgGap returns 2^160 / n as a RingInt: the expected gap between
+// consecutive fingerprints on a uniform ring of n members. n == 0 yields
+// zero.
+func MaxRingAvgGap(n uint64) *RingInt {
+	var out RingInt
+	if n == 0 {
+		return &out
+	}
+	// Long-divide the 21-byte value 2^160 by n, truncating to 160 bits.
+	var rem uint64
+	dividend := make([]byte, 21)
+	dividend[0] = 1
+	quot := make([]byte, 21)
+	for i, b := range dividend {
+		cur := rem*256 + uint64(b)
+		quot[i] = byte(cur / n)
+		rem = cur % n
+	}
+	copy(out.b[:], quot[1:])
+	return &out
+}
+
+// Cmp compares r with other: -1 if r < other, 0 if equal, 1 if r > other.
+func (r *RingInt) Cmp(other *RingInt) int {
+	for i := 0; i < 20; i++ {
+		switch {
+		case r.b[i] < other.b[i]:
+			return -1
+		case r.b[i] > other.b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// IsZero reports whether r is zero.
+func (r *RingInt) IsZero() bool {
+	for _, v := range r.b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Float64 returns an approximation of r as a float64. 160-bit values far
+// exceed float64 precision; the approximation is used only for distance
+// *ratios* (average gap / observed gap), where relative error is
+// negligible.
+func (r *RingInt) Float64() float64 {
+	var out float64
+	for i := 0; i < 20; i++ {
+		out = out*256 + float64(r.b[i])
+	}
+	return out
+}
+
+// Hex returns the lowercase hex representation, without leading-zero
+// trimming.
+func (r *RingInt) Hex() string { return hex.EncodeToString(r.b[:]) }
+
+// RingRatio computes avgDist/dist as a float64, returning +Inf for a zero
+// distance. It is the "ratio" statistic from Section VII of the paper: a
+// relay whose fingerprint sits far closer to a descriptor ID than the
+// average inter-fingerprint gap has positioned itself deliberately.
+func RingRatio(avgDist, dist *RingInt) float64 {
+	d := dist.Float64()
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return avgDist.Float64() / d
+}

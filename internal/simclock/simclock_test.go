@@ -1,0 +1,78 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimStartsAtGivenInstant(t *testing.T) {
+	start := time.Date(2013, 2, 4, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	start := time.Date(2013, 2, 4, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	if err := c.Advance(25 * time.Hour); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	want := start.Add(25 * time.Hour)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimAdvanceNegativeRejected(t *testing.T) {
+	c := NewSim(time.Unix(0, 0))
+	if err := c.Advance(-time.Second); err == nil {
+		t.Fatal("Advance(-1s) succeeded, want error")
+	}
+}
+
+func TestSimSet(t *testing.T) {
+	start := time.Date(2013, 2, 4, 0, 0, 0, 0, time.UTC)
+	c := NewSim(start)
+	later := start.Add(48 * time.Hour)
+	if err := c.Set(later); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if got := c.Now(); !got.Equal(later) {
+		t.Fatalf("Now() = %v, want %v", got, later)
+	}
+	if err := c.Set(start); err == nil {
+		t.Fatal("Set to the past succeeded, want error")
+	}
+}
+
+func TestSimConcurrentAccess(t *testing.T) {
+	c := NewSim(time.Unix(1000, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.MustAdvance(time.Millisecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Unix(1000, 0).Add(800 * time.Millisecond)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestRealClockMovesForward(t *testing.T) {
+	var c Clock = Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}

@@ -1,0 +1,46 @@
+// Package simnet simulates the client side of the hidden-service
+// ecosystem: clients with entry-guard sets, descriptor-fetch traffic
+// driven by the population's popularity model (including the large volume
+// of requests for never-published descriptors the paper observed), and
+// the guard-based traffic-signature attack of Section VI.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// Client is one Tor client.
+type Client struct {
+	// ID is a stable identifier.
+	ID int
+	// IP is the client's real address; Country its geolocation.
+	IP      string
+	Country string
+	// ClockSkew offsets the client's wall clock. Clients with skewed
+	// clocks compute descriptor IDs for the wrong time period, which is
+	// why the paper resolves requests over a ±days window.
+	ClockSkew time.Duration
+
+	gs guardSet
+}
+
+// guardLifetime draws a guard rotation lifetime uniform in [30,60) days,
+// as the Tor client does.
+func guardLifetime(rng *rand.Rand) time.Duration {
+	return time.Duration(30+rng.Intn(30)) * 24 * time.Hour
+}
+
+// PickGuard returns the entry guard for a new circuit at instant now,
+// rotating expired guards first.
+func (c *Client) PickGuard(pool []onion.Fingerprint, rng *rand.Rand, now time.Time) onion.Fingerprint {
+	return c.gs.pick(pool, rng, now)
+}
+
+// Guards returns a copy of the client's current guard set.
+func (c *Client) Guards() [3]onion.Fingerprint { return c.gs.guards }
+
+// LocalTime returns the client's skewed notion of now.
+func (c *Client) LocalTime(now time.Time) time.Time { return now.Add(c.ClockSkew) }

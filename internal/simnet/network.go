@@ -1,0 +1,332 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"torhs/internal/consensus"
+	"torhs/internal/geo"
+	"torhs/internal/hsdir"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/stats"
+)
+
+// Network wires a consensus snapshot, the HSDir ring with per-relay
+// descriptor stores, a guard pool, and a client population into one
+// drivable simulation.
+type Network struct {
+	rng *rand.Rand
+
+	ring       *hsdir.Ring
+	dirs       map[onion.Fingerprint]*hsdir.Directory
+	guards     []onion.Fingerprint
+	pool       *guardPool
+	dirFailure float64
+
+	geoDB   *geo.DB
+	clients []*Client
+
+	hosts           map[onion.Address]*Host
+	uploadObservers []func(UploadEvent)
+}
+
+// Config parameterises client synthesis.
+type Config struct {
+	// Clients is the number of simulated clients.
+	Clients int
+	// SkewedClientFraction of clients have wrong clocks.
+	SkewedClientFraction float64
+	// MaxSkew bounds the absolute clock skew of skewed clients.
+	MaxSkew time.Duration
+	// WeightedGuards selects entry guards weighted by consensus
+	// bandwidth, as the real Tor client does. Off by default: uniform
+	// selection makes attacker guard share equal attacker guard count,
+	// which the analytical checks in the experiments rely on.
+	WeightedGuards bool
+	// DirFailureProb is the probability that contacting one directory
+	// fails (relay overloaded or unreachable); the client falls back to
+	// the remaining responsible directories, as the Tor client does.
+	DirFailureProb float64
+	// Seed drives the network's randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a client population sized for tests and examples.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Clients:              2000,
+		SkewedClientFraction: 0.1,
+		MaxSkew:              72 * time.Hour,
+		Seed:                 seed,
+	}
+}
+
+// NewNetwork builds the network from a consensus snapshot: one descriptor
+// directory per HSDir-flagged relay, the guard pool, and cfg.Clients
+// clients with geo-allocated IPs.
+func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, error) {
+	if cfg.Clients <= 0 {
+		return nil, fmt.Errorf("simnet: client count %d must be positive", cfg.Clients)
+	}
+	hsdirs := doc.HSDirs()
+	if len(hsdirs) < onion.Replicas*onion.SpreadPerReplica {
+		return nil, fmt.Errorf("simnet: only %d HSDirs in consensus, need >= %d",
+			len(hsdirs), onion.Replicas*onion.SpreadPerReplica)
+	}
+	guards := doc.Guards()
+	if len(guards) == 0 {
+		return nil, errors.New("simnet: no Guard-flagged relays in consensus")
+	}
+
+	if cfg.DirFailureProb < 0 || cfg.DirFailureProb >= 1 {
+		return nil, fmt.Errorf("simnet: directory failure probability %v out of [0,1)", cfg.DirFailureProb)
+	}
+	n := &Network{
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		ring:       hsdir.NewRing(hsdirs),
+		dirs:       make(map[onion.Fingerprint]*hsdir.Directory, len(hsdirs)),
+		guards:     guards,
+		geoDB:      db,
+		hosts:      make(map[onion.Address]*Host),
+		dirFailure: cfg.DirFailureProb,
+	}
+	for _, fp := range hsdirs {
+		n.dirs[fp] = hsdir.NewDirectory(fp, 24*time.Hour)
+	}
+	if cfg.WeightedGuards {
+		weights := make([]int, len(guards))
+		for i, fp := range guards {
+			if e, ok := doc.Lookup(fp); ok {
+				weights[i] = e.Bandwidth
+			}
+		}
+		n.pool = newGuardPool(guards, weights)
+	} else {
+		n.pool = newGuardPool(guards, nil)
+	}
+
+	n.clients = make([]*Client, cfg.Clients)
+	for i := range n.clients {
+		ip, country := db.AllocateIP(n.rng)
+		c := &Client{ID: i, IP: ip, Country: country}
+		if n.rng.Float64() < cfg.SkewedClientFraction {
+			skew := time.Duration(n.rng.Int63n(int64(2*cfg.MaxSkew))) - cfg.MaxSkew
+			c.ClockSkew = skew
+		}
+		n.clients[i] = c
+	}
+	return n, nil
+}
+
+// Ring returns the HSDir ring.
+func (n *Network) Ring() *hsdir.Ring { return n.ring }
+
+// Directory returns the descriptor store of the relay with fingerprint
+// fp.
+func (n *Network) Directory(fp onion.Fingerprint) (*hsdir.Directory, bool) {
+	d, ok := n.dirs[fp]
+	return d, ok
+}
+
+// Directories returns all descriptor stores keyed by fingerprint.
+func (n *Network) Directories() map[onion.Fingerprint]*hsdir.Directory { return n.dirs }
+
+// GuardPool returns the Guard-flagged fingerprints.
+func (n *Network) GuardPool() []onion.Fingerprint { return n.guards }
+
+// Clients returns the client population.
+func (n *Network) Clients() []*Client { return n.clients }
+
+// PublishService uploads both descriptor replicas of a service to their
+// responsible directories at instant now. The upload travels a
+// guard-anchored circuit from the service's host; every upload is
+// announced to registered upload observers (the tap the [8]-style
+// service deanonymisation uses).
+func (n *Network) PublishService(svc *hspop.Service, now time.Time) {
+	host := n.ensureHost(svc)
+	if len(host.intros) == 0 {
+		n.establishIntroPoints(host, 3)
+	}
+	ids := onion.DescriptorIDs(svc.PermID, now)
+	for replica, descID := range ids {
+		desc := &onion.Descriptor{
+			DescID:      descID,
+			Address:     svc.Address,
+			PermID:      svc.PermID,
+			Replica:     uint8(replica),
+			PublishedAt: now,
+			IntroPoints: host.IntroPoints(),
+		}
+		for _, fp := range n.ring.Responsible(descID, onion.SpreadPerReplica) {
+			n.dirs[fp].Publish(desc, now)
+			if len(n.uploadObservers) > 0 {
+				ev := UploadEvent{
+					Host:   host,
+					Guard:  host.gs.pickPool(n.pool, n.rng, now),
+					Dir:    fp,
+					DescID: descID,
+					At:     now,
+				}
+				for _, fn := range n.uploadObservers {
+					fn(ev)
+				}
+			}
+		}
+	}
+}
+
+// PublishAll uploads descriptors for every descriptor-bearing service in
+// the population and returns the number published.
+func (n *Network) PublishAll(pop *hspop.Population, now time.Time) int {
+	count := 0
+	for _, svc := range pop.WithDescriptor() {
+		n.PublishService(svc, now)
+		count++
+	}
+	return count
+}
+
+// FetchEvent describes one descriptor fetch as the network executed it.
+type FetchEvent struct {
+	Client *Client
+	// Guard is the entry guard the circuit used.
+	Guard onion.Fingerprint
+	// Dir is the directory that finally answered.
+	Dir onion.Fingerprint
+	// DescID is the requested descriptor ID.
+	DescID onion.DescriptorID
+	// Found reports whether the directory had the descriptor.
+	Found bool
+	// Attempts is how many directories the client contacted (retries on
+	// unreachable directories included).
+	Attempts int
+	// At is the (true) request instant.
+	At time.Time
+}
+
+// FetchDescriptor performs one client descriptor fetch for the service
+// with permanent ID permID: the client computes the descriptor ID with
+// its *local* clock, picks a replica, and queries one of the responsible
+// directories through one of its guards.
+func (n *Network) FetchDescriptor(c *Client, permID onion.PermanentID, now time.Time) FetchEvent {
+	local := c.LocalTime(now)
+	replica := uint8(n.rng.Intn(onion.Replicas))
+	descID := onion.ComputeDescriptorID(permID, local, replica)
+	return n.fetchByID(c, descID, now)
+}
+
+// FetchRawID performs one fetch for an arbitrary descriptor ID (used for
+// the phantom requests to never-published descriptors).
+func (n *Network) FetchRawID(c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
+	return n.fetchByID(c, descID, now)
+}
+
+func (n *Network) fetchByID(c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
+	guard := c.gs.pickPool(n.pool, n.rng, now)
+	responsible := n.ring.Responsible(descID, onion.SpreadPerReplica)
+	// Contact the responsible directories in random order, falling back
+	// on unreachable ones, as the Tor client does.
+	order := n.rng.Perm(len(responsible))
+	ev := FetchEvent{
+		Client: c,
+		Guard:  guard,
+		DescID: descID,
+		At:     now,
+	}
+	for _, i := range order {
+		ev.Attempts++
+		ev.Dir = responsible[i]
+		if n.dirFailure > 0 && n.rng.Float64() < n.dirFailure {
+			continue // this directory was unreachable; try the next
+		}
+		_, ev.Found = n.dirs[ev.Dir].Fetch(descID, now)
+		return ev
+	}
+	// Every responsible directory was unreachable.
+	ev.Found = false
+	return ev
+}
+
+// TrafficStats summarises a driven measurement window.
+type TrafficStats struct {
+	TotalRequests   int
+	PhantomRequests int
+	ResolvedHits    int
+}
+
+// DriveWindow generates descriptor-fetch traffic over a measurement
+// window of the given duration starting at start: Poisson counts around
+// each popular service's expected rate, plus phantom requests for
+// never-published descriptor IDs at the configured fraction. The observer
+// callback (optional) sees every fetch event — this is where the
+// signature attack taps in.
+func (n *Network) DriveWindow(
+	pop *hspop.Population,
+	start time.Time,
+	window time.Duration,
+	observer func(FetchEvent),
+) TrafficStats {
+	var out TrafficStats
+
+	type job struct {
+		permID onion.PermanentID
+		count  int
+	}
+	jobs := make([]job, 0, 4096)
+	realTotal := 0
+	for _, svc := range pop.PopularServices() {
+		c := stats.Poisson(n.rng, svc.ExpectedRequests)
+		if c > 0 {
+			jobs = append(jobs, job{permID: svc.PermID, count: c})
+			realTotal += c
+		}
+	}
+
+	// Phantom pool: never-published descriptor IDs, power-law weighted.
+	phantomFrac := pop.Config.PhantomRequestFraction
+	phantomTotal := 0
+	if phantomFrac > 0 {
+		phantomTotal = int(float64(realTotal) * phantomFrac / (1 - phantomFrac))
+	}
+	nPhantomIDs := pop.Config.ScaledPhantomIDs()
+	phantomIDs := make([]onion.DescriptorID, nPhantomIDs)
+	for i := range phantomIDs {
+		f := onion.RandomFingerprint(n.rng)
+		copy(phantomIDs[i][:], f[:])
+	}
+
+	emit := func(ev FetchEvent) {
+		out.TotalRequests++
+		if ev.Found {
+			out.ResolvedHits++
+		}
+		if observer != nil {
+			observer(ev)
+		}
+	}
+
+	// Interleave real and phantom requests across the window.
+	for _, j := range jobs {
+		for k := 0; k < j.count; k++ {
+			at := start.Add(time.Duration(n.rng.Int63n(int64(window))))
+			c := n.clients[n.rng.Intn(len(n.clients))]
+			emit(n.FetchDescriptor(c, j.permID, at))
+		}
+	}
+	for k := 0; k < phantomTotal; k++ {
+		at := start.Add(time.Duration(n.rng.Int63n(int64(window))))
+		c := n.clients[n.rng.Intn(len(n.clients))]
+		// Zipf-ish: low indexes requested far more often.
+		idx := int(float64(len(phantomIDs)) * math.Pow(n.rng.Float64(), 2.2))
+		if idx >= len(phantomIDs) {
+			idx = len(phantomIDs) - 1
+		}
+		emit(n.FetchRawID(c, phantomIDs[idx], at))
+		out.PhantomRequests++
+	}
+	return out
+}

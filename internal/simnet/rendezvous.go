@@ -1,0 +1,166 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+)
+
+// This file implements the server side of the v2 hidden-service protocol
+// and the rendezvous connection establishment the paper's Section II-A
+// summarises: the service maintains introduction points and entry guards,
+// uploads descriptors through a guard-anchored circuit, and clients reach
+// it by joining circuits at a rendezvous point.
+
+// Host is the machine operating a hidden service: the thing whose
+// location the protocol protects and the [8]-style guard attack reveals.
+type Host struct {
+	// Service is the hidden service this host runs.
+	Service *hspop.Service
+	// IP / Country are the host's real location.
+	IP      string
+	Country string
+
+	gs     guardSet
+	intros []onion.Fingerprint
+}
+
+// Guards returns the host's current guard set.
+func (h *Host) Guards() [3]onion.Fingerprint { return h.gs.guards }
+
+// IntroPoints returns the host's current introduction points.
+func (h *Host) IntroPoints() []onion.Fingerprint {
+	out := make([]onion.Fingerprint, len(h.intros))
+	copy(out, h.intros)
+	return out
+}
+
+// Circuit is a three-hop path; the first hop is always an entry guard.
+type Circuit struct {
+	Guard  onion.Fingerprint
+	Middle onion.Fingerprint
+	Last   onion.Fingerprint
+}
+
+// UploadEvent is one descriptor upload as observed on the wire: the host
+// pushed a descriptor to a directory through a guard-anchored circuit.
+// The [8] attack taps here: a malicious directory answers the upload with
+// a traffic signature, and if the host's guard is attacker-controlled the
+// signature reveals the host's IP.
+type UploadEvent struct {
+	Host   *Host
+	Guard  onion.Fingerprint
+	Dir    onion.Fingerprint
+	DescID onion.DescriptorID
+	At     time.Time
+}
+
+// RendezvousResult describes one completed (or failed) client connection.
+type RendezvousResult struct {
+	// Found reports whether the descriptor lookup succeeded.
+	Found bool
+	// IntroPoint and RendezvousPoint are the relays used.
+	IntroPoint      onion.Fingerprint
+	RendezvousPoint onion.Fingerprint
+	// ClientCircuit / ServiceCircuit are the two halves joined at the
+	// rendezvous point.
+	ClientCircuit  Circuit
+	ServiceCircuit Circuit
+}
+
+// errNoRelays is returned when the consensus lacks enough relays to build
+// circuits.
+var errNoRelays = errors.New("simnet: not enough relays for circuit building")
+
+// Host returns the host running the service with the given address, if
+// the network has materialised one (hosts are created on first publish).
+func (n *Network) Host(addr onion.Address) (*Host, bool) {
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// OnUpload registers an observer for descriptor-upload events.
+func (n *Network) OnUpload(fn func(UploadEvent)) {
+	n.uploadObservers = append(n.uploadObservers, fn)
+}
+
+// ensureHost materialises the Host for a service.
+func (n *Network) ensureHost(svc *hspop.Service) *Host {
+	if h, ok := n.hosts[svc.Address]; ok {
+		return h
+	}
+	ip, country := n.geoDB.AllocateIP(n.rng)
+	h := &Host{Service: svc, IP: ip, Country: country}
+	n.hosts[svc.Address] = h
+	return h
+}
+
+// pickRelay draws a random relay fingerprint from the consensus HSDir
+// ring (any relay can serve as middle, intro, or rendezvous point at this
+// abstraction level).
+func (n *Network) pickRelay() onion.Fingerprint {
+	fps := n.ring.Fingerprints()
+	return fps[n.rng.Intn(len(fps))]
+}
+
+// establishIntroPoints picks k introduction points for the host.
+func (n *Network) establishIntroPoints(h *Host, k int) {
+	h.intros = make([]onion.Fingerprint, 0, k)
+	for i := 0; i < k; i++ {
+		h.intros = append(h.intros, n.pickRelay())
+	}
+}
+
+// buildCircuit assembles a guard-anchored three-hop circuit ending at
+// last.
+func (n *Network) buildCircuit(gs *guardSet, last onion.Fingerprint, now time.Time) Circuit {
+	return Circuit{
+		Guard:  gs.pickPool(n.pool, n.rng, now),
+		Middle: n.pickRelay(),
+		Last:   last,
+	}
+}
+
+// Connect performs the full client-side rendezvous: fetch the descriptor
+// (through a directory, observed in the request log), extract an
+// introduction point, set up a rendezvous point, and join the two circuit
+// halves. The returned result reports every relay involved, which is what
+// the attacks in this repository observe.
+func (n *Network) Connect(c *Client, addr onion.Address, now time.Time) (*RendezvousResult, error) {
+	if n.ring.Len() < 3 {
+		return nil, errNoRelays
+	}
+	host, ok := n.hosts[addr]
+	if !ok {
+		return nil, fmt.Errorf("simnet: no host for %s", addr)
+	}
+
+	// 1. Descriptor fetch (with the client's possibly-skewed clock).
+	ev := n.FetchDescriptor(c, host.Service.PermID, now)
+	if !ev.Found {
+		return &RendezvousResult{Found: false}, nil
+	}
+	if len(host.intros) == 0 {
+		return nil, fmt.Errorf("simnet: host %s has no introduction points", addr)
+	}
+
+	// 2. Client picks a rendezvous point and builds a circuit to it.
+	rp := n.pickRelay()
+	clientCirc := n.buildCircuit(&c.gs, rp, now)
+
+	// 3. INTRODUCE1 via an introduction point; the service answers by
+	//    building its own circuit to the rendezvous point.
+	intro := host.intros[n.rng.Intn(len(host.intros))]
+	serviceCirc := n.buildCircuit(&host.gs, rp, now)
+
+	return &RendezvousResult{
+		Found:           true,
+		IntroPoint:      intro,
+		RendezvousPoint: rp,
+		ClientCircuit:   clientCirc,
+		ServiceCircuit:  serviceCirc,
+	}, nil
+}

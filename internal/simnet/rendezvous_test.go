@@ -1,0 +1,169 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+func TestPublishMaterialisesHostsWithIntroPoints(t *testing.T) {
+	net, pop, now := buildNetwork(t, 20)
+	net.PublishAll(pop, now)
+
+	svc := pop.WithDescriptor()[0]
+	host, ok := net.Host(svc.Address)
+	if !ok {
+		t.Fatal("no host materialised")
+	}
+	if host.IP == "" || host.Country == "" {
+		t.Fatal("host without location")
+	}
+	if len(host.IntroPoints()) != 3 {
+		t.Fatalf("intro points = %d, want 3", len(host.IntroPoints()))
+	}
+	// Descriptors carry the intro points.
+	ids := onion.DescriptorIDs(svc.PermID, now)
+	dirFP := net.Ring().Responsible(ids[0], onion.SpreadPerReplica)[0]
+	dir, _ := net.Directory(dirFP)
+	desc, found := dir.Fetch(ids[0], now)
+	if !found {
+		t.Fatal("descriptor missing")
+	}
+	if len(desc.IntroPoints) != 3 {
+		t.Fatalf("descriptor intro points = %d, want 3", len(desc.IntroPoints))
+	}
+}
+
+func TestHostStableAcrossRepublish(t *testing.T) {
+	net, pop, now := buildNetwork(t, 21)
+	svc := pop.WithDescriptor()[0]
+	net.PublishService(svc, now)
+	h1, _ := net.Host(svc.Address)
+	net.PublishService(svc, now.Add(24*time.Hour))
+	h2, _ := net.Host(svc.Address)
+	if h1 != h2 {
+		t.Fatal("republish created a new host")
+	}
+}
+
+func TestConnectEndToEnd(t *testing.T) {
+	net, pop, now := buildNetwork(t, 22)
+	net.PublishAll(pop, now)
+	svc := pop.WithDescriptor()[0]
+
+	var c *Client
+	for _, cand := range net.Clients() {
+		if cand.ClockSkew == 0 {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no skew-free client")
+	}
+
+	res, err := net.Connect(c, svc.Address, now.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("descriptor not found during connect")
+	}
+	host, _ := net.Host(svc.Address)
+
+	// The intro point must come from the host's advertised set.
+	okIntro := false
+	for _, ip := range host.IntroPoints() {
+		if ip == res.IntroPoint {
+			okIntro = true
+		}
+	}
+	if !okIntro {
+		t.Fatal("intro point not from host's set")
+	}
+	// Both circuit halves end at the same rendezvous point.
+	if res.ClientCircuit.Last != res.RendezvousPoint ||
+		res.ServiceCircuit.Last != res.RendezvousPoint {
+		t.Fatal("circuits do not join at the rendezvous point")
+	}
+	// Guards anchor each half and belong to the respective guard sets.
+	cg := c.Guards()
+	if res.ClientCircuit.Guard != cg[0] && res.ClientCircuit.Guard != cg[1] && res.ClientCircuit.Guard != cg[2] {
+		t.Fatal("client circuit guard not from client guard set")
+	}
+	hg := host.Guards()
+	if res.ServiceCircuit.Guard != hg[0] && res.ServiceCircuit.Guard != hg[1] && res.ServiceCircuit.Guard != hg[2] {
+		t.Fatal("service circuit guard not from host guard set")
+	}
+}
+
+func TestConnectUnknownHost(t *testing.T) {
+	net, pop, now := buildNetwork(t, 23)
+	net.PublishAll(pop, now)
+	c := net.Clients()[0]
+	if _, err := net.Connect(c, "aaaaaaaaaaaaaaaa", now); err == nil {
+		t.Fatal("connect to unknown host succeeded")
+	}
+}
+
+func TestServiceSignatureAttackTargeted(t *testing.T) {
+	net, pop, now := buildNetwork(t, 24)
+	target := pop.WithDescriptor()[0]
+
+	// The attacker controls the target's responsible directories and the
+	// whole guard pool: the upload must be detected.
+	dirs := net.Ring().ResponsibleForServiceAt(target.PermID, now)
+	attack := NewServiceSignatureAttack(target.PermID, dirs, net.GuardPool())
+	net.OnUpload(attack.ObserveUpload)
+
+	net.PublishAll(pop, now)
+
+	if attack.SignaturesSent() == 0 {
+		t.Fatal("no signatures sent on target upload")
+	}
+	dets := attack.Detections()
+	if len(dets) != attack.SignaturesSent() {
+		t.Fatal("full guard control must detect every signature")
+	}
+	host, _ := net.Host(target.Address)
+	deanon := attack.DeanonymisedServices()
+	if ip, ok := deanon[target.Address]; !ok || ip != host.IP {
+		t.Fatalf("target not deanonymised correctly: %v", deanon)
+	}
+	// Targeted mode must not flag other services.
+	if len(deanon) != 1 {
+		t.Fatalf("targeted attack deanonymised %d services", len(deanon))
+	}
+}
+
+func TestServiceSignatureAttackOpportunistic(t *testing.T) {
+	net, pop, now := buildNetwork(t, 25)
+	// Opportunistic: zero target, attacker runs ALL directories and all
+	// guards — every publishing service is exposed.
+	attack := NewServiceSignatureAttack(onion.PermanentID{}, net.Ring().Fingerprints(), net.GuardPool())
+	net.OnUpload(attack.ObserveUpload)
+
+	published := net.PublishAll(pop, now)
+	deanon := attack.DeanonymisedServices()
+	if len(deanon) != published {
+		t.Fatalf("deanonymised %d of %d services with full control", len(deanon), published)
+	}
+}
+
+func TestServiceSignatureAttackPartialGuards(t *testing.T) {
+	net, pop, now := buildNetwork(t, 26)
+	pool := net.GuardPool()
+	attack := NewServiceSignatureAttack(onion.PermanentID{}, net.Ring().Fingerprints(), pool[:len(pool)/10])
+	net.OnUpload(attack.ObserveUpload)
+
+	net.PublishAll(pop, now)
+	sent := attack.SignaturesSent()
+	det := len(attack.Detections())
+	if sent == 0 {
+		t.Fatal("no signatures")
+	}
+	if det == 0 || det >= sent {
+		t.Fatalf("partial guard control: %d of %d detected", det, sent)
+	}
+}

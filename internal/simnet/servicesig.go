@@ -1,0 +1,108 @@
+package simnet
+
+import (
+	"sync"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// ServiceSignatureAttack implements the original attack of [8] that the
+// paper's Section II-B summarises (and Section VI adapts to clients): a
+// malicious responsible directory answers a hidden service's *descriptor
+// upload* with a distinctive traffic signature; the signature travels
+// back through the service's circuit, and if the service's entry guard is
+// attacker-controlled, the guard observes it and learns the service's
+// real IP address.
+type ServiceSignatureAttack struct {
+	mu sync.Mutex
+
+	// target limits the attack to one service; the zero PermanentID
+	// attacks every service whose upload hits an attacker directory
+	// (the opportunistic mode of [8]).
+	target         onion.PermanentID
+	targetSet      bool
+	attackerDirs   map[onion.Fingerprint]bool
+	attackerGuards map[onion.Fingerprint]bool
+
+	signaturesSent int
+	detections     []ServiceDetection
+}
+
+// ServiceDetection is one deanonymised hidden-service observation.
+type ServiceDetection struct {
+	Address onion.Address
+	IP      string
+	Country string
+	At      time.Time
+	Guard   onion.Fingerprint
+}
+
+// NewServiceSignatureAttack builds the attack. Pass a zero target to
+// attack opportunistically.
+func NewServiceSignatureAttack(target onion.PermanentID, dirs, guards []onion.Fingerprint) *ServiceSignatureAttack {
+	a := &ServiceSignatureAttack{
+		target:         target,
+		targetSet:      target != onion.PermanentID{},
+		attackerDirs:   make(map[onion.Fingerprint]bool, len(dirs)),
+		attackerGuards: make(map[onion.Fingerprint]bool, len(guards)),
+	}
+	for _, d := range dirs {
+		a.attackerDirs[d] = true
+	}
+	for _, g := range guards {
+		a.attackerGuards[g] = true
+	}
+	return a
+}
+
+// ObserveUpload inspects one descriptor-upload event; register it with
+// Network.OnUpload.
+func (a *ServiceSignatureAttack) ObserveUpload(ev UploadEvent) {
+	if !a.attackerDirs[ev.Dir] {
+		return
+	}
+	if a.targetSet && ev.Host.Service.PermID != a.target {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.signaturesSent++
+	if a.attackerGuards[ev.Guard] {
+		a.detections = append(a.detections, ServiceDetection{
+			Address: ev.Host.Service.Address,
+			IP:      ev.Host.IP,
+			Country: ev.Host.Country,
+			At:      ev.At,
+			Guard:   ev.Guard,
+		})
+	}
+}
+
+// SignaturesSent returns how many uploads were answered with a signature.
+func (a *ServiceSignatureAttack) SignaturesSent() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.signaturesSent
+}
+
+// Detections returns a copy of all observations.
+func (a *ServiceSignatureAttack) Detections() []ServiceDetection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ServiceDetection, len(a.detections))
+	copy(out, a.detections)
+	return out
+}
+
+// DeanonymisedServices returns the distinct services whose IP was
+// revealed, with the revealed IP.
+func (a *ServiceSignatureAttack) DeanonymisedServices() map[onion.Address]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[onion.Address]string)
+	for _, d := range a.detections {
+		out[d.Address] = d.IP
+	}
+	return out
+}

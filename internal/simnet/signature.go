@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// SignatureAttack implements the Section VI opportunistic client
+// deanonymisation: a malicious responsible HSDir wraps descriptor
+// responses for a target service in a recognisable traffic signature;
+// whenever the requesting client's entry guard happens to be
+// attacker-controlled, the guard sees the signature and learns the
+// client's IP address.
+type SignatureAttack struct {
+	mu sync.Mutex
+
+	target         onion.PermanentID
+	attackerDirs   map[onion.Fingerprint]bool
+	attackerGuards map[onion.Fingerprint]bool
+
+	signaturesSent int
+	detections     []Detection
+
+	// Cell-level mode: instead of flagging marked responses directly,
+	// the guard counts cells per circuit and runs the burst detector on
+	// the trace (the mechanism of [8]).
+	cellRNG        *rand.Rand
+	cellMisses     int
+	falsePositives int
+}
+
+// Detection is one deanonymised client observation.
+type Detection struct {
+	ClientID int
+	IP       string
+	Country  string
+	At       time.Time
+	Guard    onion.Fingerprint
+}
+
+// NewSignatureAttack targets the service with permanent ID target, with
+// the attacker controlling the given directories and guards.
+func NewSignatureAttack(target onion.PermanentID, dirs, guards []onion.Fingerprint) *SignatureAttack {
+	a := &SignatureAttack{
+		target:         target,
+		attackerDirs:   make(map[onion.Fingerprint]bool, len(dirs)),
+		attackerGuards: make(map[onion.Fingerprint]bool, len(guards)),
+	}
+	for _, d := range dirs {
+		a.attackerDirs[d] = true
+	}
+	for _, g := range guards {
+		a.attackerGuards[g] = true
+	}
+	return a
+}
+
+// EnableCellLevel switches the attack to cell-trace detection: attacker
+// guards synthesise the cell counts they would observe for each circuit
+// and run the burst detector, instead of being told directly which
+// responses were marked. Deterministic in seed.
+func (a *SignatureAttack) EnableCellLevel(seed int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cellRNG = rand.New(rand.NewSource(seed))
+}
+
+// CellStats reports cell-level counters: marked responses the detector
+// missed and unmarked circuits it flagged.
+func (a *SignatureAttack) CellStats() (misses, falsePositives int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cellMisses, a.falsePositives
+}
+
+// Observe inspects one fetch event. If the fetch is for the target's
+// descriptor, hits an attacker directory, and transits an attacker guard,
+// the client is deanonymised.
+func (a *SignatureAttack) Observe(ev FetchEvent) {
+	if !a.attackerDirs[ev.Dir] {
+		// In cell-level mode, attacker guards still watch every circuit
+		// through them; unmarked traffic measures the false-positive
+		// rate.
+		a.mu.Lock()
+		if a.cellRNG != nil && a.attackerGuards[ev.Guard] {
+			if DetectSignature(NormalFetchTrace(a.cellRNG)) {
+				a.falsePositives++
+			}
+		}
+		a.mu.Unlock()
+		return
+	}
+	ids := onion.DescriptorIDs(a.target, ev.At)
+	match := false
+	for _, id := range ids {
+		if id == ev.DescID {
+			match = true
+			break
+		}
+	}
+	if !match {
+		// Clients with skewed clocks may request yesterday's or
+		// tomorrow's descriptor ID; check the adjacent periods too, as
+		// the attacker recognises the service's IDs over a window.
+		for _, off := range []time.Duration{-24 * time.Hour, 24 * time.Hour} {
+			for _, id := range onion.DescriptorIDs(a.target, ev.At.Add(off)) {
+				if id == ev.DescID {
+					match = true
+					break
+				}
+			}
+		}
+	}
+	if !match {
+		return
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.signaturesSent++
+	if !a.attackerGuards[ev.Guard] {
+		return
+	}
+	if a.cellRNG != nil {
+		// The guard sees the marked circuit's cell trace and must
+		// recover the burst pattern from it.
+		trace := InjectSignature(NormalFetchTrace(a.cellRNG))
+		if !DetectSignature(trace) {
+			a.cellMisses++
+			return
+		}
+	}
+	a.detections = append(a.detections, Detection{
+		ClientID: ev.Client.ID,
+		IP:       ev.Client.IP,
+		Country:  ev.Client.Country,
+		At:       ev.At,
+		Guard:    ev.Guard,
+	})
+}
+
+// SignaturesSent returns how many signature-wrapped responses left
+// attacker directories.
+func (a *SignatureAttack) SignaturesSent() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.signaturesSent
+}
+
+// Detections returns a copy of all deanonymised client observations.
+func (a *SignatureAttack) Detections() []Detection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Detection, len(a.detections))
+	copy(out, a.detections)
+	return out
+}
+
+// CountryHistogram aggregates detections by country — the data behind the
+// paper's Fig. 3 world map.
+func (a *SignatureAttack) CountryHistogram() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int)
+	for _, d := range a.detections {
+		out[d.Country]++
+	}
+	return out
+}
+
+// UniqueClients returns how many distinct clients were deanonymised.
+func (a *SignatureAttack) UniqueClients() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[int]bool, len(a.detections))
+	for _, d := range a.detections {
+		seen[d.ClientID] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,361 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"torhs/internal/geo"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/relaynet"
+)
+
+func buildNetwork(t *testing.T, seed int64) (*Network, *hspop.Population, time.Time) {
+	t.Helper()
+	fleet := relaynet.DefaultFleetConfig(seed)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := h.All()[0]
+
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(seed)
+	cfg.Clients = 500
+	net, err := NewNetwork(doc, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, pop, doc.ValidAfter
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	fleet := relaynet.DefaultFleetConfig(1)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.Clients = 0
+	if _, err := NewNetwork(h.All()[0], db, cfg); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}
+
+func TestPublishAllStoresDescriptorsOnResponsibleDirs(t *testing.T) {
+	net, pop, now := buildNetwork(t, 2)
+	published := net.PublishAll(pop, now)
+	if published != len(pop.WithDescriptor()) {
+		t.Fatalf("published %d, want %d", published, len(pop.WithDescriptor()))
+	}
+
+	// Every service's descriptors must be fetchable from all responsible
+	// directories.
+	svc := pop.WithDescriptor()[0]
+	for _, descID := range onion.DescriptorIDs(svc.PermID, now) {
+		for _, fp := range net.Ring().Responsible(descID, onion.SpreadPerReplica) {
+			dir, ok := net.Directory(fp)
+			if !ok {
+				t.Fatal("responsible directory missing")
+			}
+			desc, found := dir.Fetch(descID, now)
+			if !found {
+				t.Fatal("descriptor not stored on responsible directory")
+			}
+			if desc.Address != svc.Address {
+				t.Fatal("wrong descriptor stored")
+			}
+		}
+	}
+}
+
+func TestFetchDescriptorFindsPublished(t *testing.T) {
+	net, pop, now := buildNetwork(t, 3)
+	net.PublishAll(pop, now)
+	client := net.Clients()[0]
+	svc := pop.WithDescriptor()[0]
+
+	found := 0
+	for i := 0; i < 20; i++ {
+		ev := net.FetchDescriptor(client, svc.PermID, now.Add(time.Minute))
+		if ev.Found {
+			found++
+		}
+	}
+	// A client with a correct clock must almost always succeed.
+	if client.ClockSkew == 0 && found < 15 {
+		t.Fatalf("found %d/20 fetches for published descriptor", found)
+	}
+}
+
+func TestFetchRawIDNeverPublished(t *testing.T) {
+	net, pop, now := buildNetwork(t, 4)
+	net.PublishAll(pop, now)
+	client := net.Clients()[0]
+	var phantom onion.DescriptorID
+	phantom[0] = 0xAB
+	ev := net.FetchRawID(client, phantom, now)
+	if ev.Found {
+		t.Fatal("phantom descriptor found")
+	}
+}
+
+func TestDriveWindowStats(t *testing.T) {
+	net, pop, now := buildNetwork(t, 5)
+	net.PublishAll(pop, now)
+
+	var events int
+	st := net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, func(ev FetchEvent) { events++ })
+	if st.TotalRequests == 0 {
+		t.Fatal("no requests driven")
+	}
+	if events != st.TotalRequests {
+		t.Fatalf("observer saw %d events, stats count %d", events, st.TotalRequests)
+	}
+	// Phantom fraction should approximate the configured 80%.
+	phantomFrac := float64(st.PhantomRequests) / float64(st.TotalRequests)
+	if phantomFrac < 0.7 || phantomFrac > 0.9 {
+		t.Fatalf("phantom fraction = %.2f, want ~0.8", phantomFrac)
+	}
+	// Most real (non-phantom) requests should resolve.
+	if st.ResolvedHits == 0 {
+		t.Fatal("no resolved hits")
+	}
+}
+
+func TestDirFailureValidation(t *testing.T) {
+	fleet := relaynet.DefaultFleetConfig(40)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(40)
+	cfg.DirFailureProb = 1.0
+	if _, err := NewNetwork(h.All()[0], db, cfg); err == nil {
+		t.Fatal("failure probability 1.0 accepted")
+	}
+}
+
+func TestDirFailureRetriesKeepFetchesWorking(t *testing.T) {
+	fleet := relaynet.DefaultFleetConfig(41)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := h.All()[0]
+	db, err := geo.NewDB(geo.DefaultBotnetMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(41)
+	cfg.Clients = 200
+	cfg.DirFailureProb = 0.3
+	net, err := NewNetwork(doc, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := hspop.Generate(hspop.TestConfig(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := doc.ValidAfter
+	net.PublishAll(pop, now)
+
+	var c *Client
+	for _, cand := range net.Clients() {
+		if cand.ClockSkew == 0 {
+			c = cand
+			break
+		}
+	}
+	svc := pop.WithDescriptor()[0]
+
+	found, retried := 0, 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		ev := net.FetchDescriptor(c, svc.PermID, now.Add(time.Minute))
+		if ev.Found {
+			found++
+		}
+		if ev.Attempts > 1 {
+			retried++
+		}
+	}
+	// With 30% per-directory failure and up to 3 fallbacks, nearly every
+	// fetch still succeeds (P(all 3 fail) = 2.7%).
+	if float64(found)/trials < 0.9 {
+		t.Fatalf("found %d/%d fetches with retries enabled", found, trials)
+	}
+	if retried == 0 {
+		t.Fatal("no retries observed at 30% failure probability")
+	}
+}
+
+func TestGuardRotationAndStability(t *testing.T) {
+	pool := make([]onion.Fingerprint, 50)
+	rng := rand.New(rand.NewSource(6))
+	for i := range pool {
+		pool[i] = onion.RandomFingerprint(rng)
+	}
+	c := &Client{ID: 1}
+	now := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	c.PickGuard(pool, rng, now)
+	before := c.Guards()
+	// Within the 30-day minimum lifetime, the set must not change.
+	for i := 0; i < 50; i++ {
+		c.PickGuard(pool, rng, now.Add(time.Duration(i)*time.Hour))
+	}
+	if c.Guards() != before {
+		t.Fatal("guard set changed within lifetime")
+	}
+	// After 61 days every guard has expired.
+	c.PickGuard(pool, rng, now.Add(61*24*time.Hour))
+	after := c.Guards()
+	same := 0
+	for i := range after {
+		if after[i] == before[i] {
+			same++
+		}
+	}
+	if same == 3 {
+		t.Fatal("no guard rotated after 61 days")
+	}
+}
+
+func TestPickGuardReturnsMemberOfSet(t *testing.T) {
+	pool := make([]onion.Fingerprint, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := range pool {
+		pool[i] = onion.RandomFingerprint(rng)
+	}
+	c := &Client{ID: 2}
+	now := time.Unix(0, 0)
+	g := c.PickGuard(pool, rng, now)
+	set := c.Guards()
+	if g != set[0] && g != set[1] && g != set[2] {
+		t.Fatal("picked guard not in guard set")
+	}
+}
+
+func TestSignatureAttackDetectsThroughAttackerGuards(t *testing.T) {
+	net, pop, now := buildNetwork(t, 8)
+	net.PublishAll(pop, now)
+
+	target := pop.Services[0] // most popular Goldnet front
+	// Attacker controls the target's responsible directories and a large
+	// fraction of the guard pool (to make detection certain in-test).
+	dirs := net.Ring().ResponsibleForServiceAt(target.PermID, now)
+	guards := net.GuardPool()
+	attack := NewSignatureAttack(target.PermID, dirs, guards)
+
+	st := net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	if st.TotalRequests == 0 {
+		t.Fatal("no traffic")
+	}
+	if attack.SignaturesSent() == 0 {
+		t.Fatal("no signatures sent for most popular service")
+	}
+	dets := attack.Detections()
+	if len(dets) == 0 {
+		t.Fatal("no detections despite controlling all guards")
+	}
+	// With all guards controlled, every signature is detected.
+	if len(dets) != attack.SignaturesSent() {
+		t.Fatalf("detections %d != signatures %d with full guard control",
+			len(dets), attack.SignaturesSent())
+	}
+	hist := attack.CountryHistogram()
+	sum := 0
+	for _, n := range hist {
+		sum += n
+	}
+	if sum != len(dets) {
+		t.Fatal("country histogram loses detections")
+	}
+	if attack.UniqueClients() == 0 || attack.UniqueClients() > len(dets) {
+		t.Fatalf("unique clients = %d", attack.UniqueClients())
+	}
+}
+
+func TestSignatureAttackPartialGuardControl(t *testing.T) {
+	net, pop, now := buildNetwork(t, 9)
+	net.PublishAll(pop, now)
+
+	target := pop.Services[0]
+	dirs := net.Ring().ResponsibleForServiceAt(target.PermID, now)
+	// Attacker controls only ~20% of guards.
+	pool := net.GuardPool()
+	attackerGuards := pool[:len(pool)/5]
+	attack := NewSignatureAttack(target.PermID, dirs, attackerGuards)
+
+	net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	sent := attack.SignaturesSent()
+	det := len(attack.Detections())
+	if sent == 0 {
+		t.Fatal("no signatures sent")
+	}
+	if det >= sent {
+		t.Fatalf("partial control detected %d of %d signatures", det, sent)
+	}
+}
+
+func TestSignatureAttackIgnoresOtherServices(t *testing.T) {
+	net, pop, now := buildNetwork(t, 10)
+	net.PublishAll(pop, now)
+
+	// Target a service that receives no traffic (a dark one).
+	var dark *hspop.Service
+	for _, s := range pop.Services {
+		if s.ExpectedRequests == 0 && s.DescriptorAtScan {
+			dark = s
+			break
+		}
+	}
+	if dark == nil {
+		t.Fatal("no dark service")
+	}
+	dirs := net.Ring().ResponsibleForServiceAt(dark.PermID, now)
+	attack := NewSignatureAttack(dark.PermID, dirs, net.GuardPool())
+	net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	if attack.SignaturesSent() != 0 {
+		t.Fatalf("signatures sent for traffic-less service: %d", attack.SignaturesSent())
+	}
+}

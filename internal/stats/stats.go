@@ -1,0 +1,125 @@
+// Package stats provides the statistical helpers shared by the
+// measurement pipelines: Poisson sampling for request generation, the
+// binomial outlier rule from Section VII, and small ranking/histogram
+// utilities.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Poisson draws a Poisson-distributed sample with the given mean using
+// Knuth's method for small means and a normal approximation for large
+// ones.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation, adequate for request-count synthesis.
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		if v >= float64(math.MaxInt32) {
+			// Clamp absurd means; callers synthesise request counts, not
+			// astronomy.
+			return math.MaxInt32
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial describes the count distribution of n independent trials with
+// success probability p.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// Mean returns np.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// StdDev returns sqrt(np(1-p)).
+func (b Binomial) StdDev() float64 { return math.Sqrt(float64(b.N) * b.P * (1 - b.P)) }
+
+// OutlierThreshold returns μ + kσ, the Section VII suspicion threshold
+// (the paper uses k = 3).
+func (b Binomial) OutlierThreshold(k float64) float64 {
+	return b.Mean() + k*b.StdDev()
+}
+
+// RankedCount is one (key, count) pair in a ranking.
+type RankedCount struct {
+	Key   string
+	Count int
+}
+
+// RankCounts orders a count map descending by count (ties broken by key
+// for determinism).
+func RankCounts(counts map[string]int) []RankedCount {
+	out := make([]RankedCount, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, RankedCount{Key: k, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Percentages converts a count map into integer percentages of the total,
+// largest-remainder rounded so they sum to exactly 100. An empty or
+// all-zero input returns nil.
+func Percentages(counts map[string]int) map[string]int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	type frac struct {
+		key  string
+		base int
+		rem  float64
+	}
+	fracs := make([]frac, 0, len(counts))
+	sum := 0
+	for k, c := range counts {
+		exact := float64(c) * 100 / float64(total)
+		base := int(exact)
+		fracs = append(fracs, frac{key: k, base: base, rem: exact - float64(base)})
+		sum += base
+	}
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].rem != fracs[j].rem {
+			return fracs[i].rem > fracs[j].rem
+		}
+		return fracs[i].key < fracs[j].key
+	})
+	out := make(map[string]int, len(fracs))
+	for i, f := range fracs {
+		v := f.base
+		if i < 100-sum {
+			v++
+		}
+		out[f.key] = v
+	}
+	return out
+}

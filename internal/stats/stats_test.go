@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Poisson(rng, 0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := Poisson(rng, -5); got != 0 {
+		t.Fatalf("Poisson(-5) = %d", got)
+	}
+}
+
+func TestPoissonSmallMeanMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const mean, n = 4.0, 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := float64(Poisson(rng, mean))
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.1 {
+		t.Fatalf("sample mean = %.3f, want ~%.1f", m, mean)
+	}
+	if math.Abs(variance-mean) > 0.3 {
+		t.Fatalf("sample variance = %.3f, want ~%.1f", variance, mean)
+	}
+}
+
+func TestPoissonLargeMeanMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const mean, n = 500.0, 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(Poisson(rng, mean))
+	}
+	m := sum / n
+	if math.Abs(m-mean)/mean > 0.01 {
+		t.Fatalf("sample mean = %.1f, want ~%.0f", m, mean)
+	}
+}
+
+func TestPoissonNeverNegative(t *testing.T) {
+	f := func(seed int64, mean float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return Poisson(rng, math.Abs(mean)) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialOutlierThreshold(t *testing.T) {
+	b := Binomial{N: 365, P: 6.0 / 1400}
+	mu := b.Mean()
+	sigma := b.StdDev()
+	wantMu := 365 * 6.0 / 1400
+	if math.Abs(mu-wantMu) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", mu, wantMu)
+	}
+	wantSigma := math.Sqrt(wantMu * (1 - 6.0/1400))
+	if math.Abs(sigma-wantSigma) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", sigma, wantSigma)
+	}
+	if got := b.OutlierThreshold(3); math.Abs(got-(mu+3*sigma)) > 1e-12 {
+		t.Fatalf("threshold = %v", got)
+	}
+}
+
+func TestRankCountsOrderingAndTies(t *testing.T) {
+	got := RankCounts(map[string]int{"b": 5, "a": 5, "c": 9, "d": 1})
+	wantKeys := []string{"c", "a", "b", "d"}
+	for i, w := range wantKeys {
+		if got[i].Key != w {
+			t.Fatalf("rank %d = %q, want %q", i, got[i].Key, w)
+		}
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	in := map[string]int{"a": 1, "b": 1, "c": 1}
+	out := Percentages(in)
+	sum := 0
+	for _, v := range out {
+		sum += v
+	}
+	if sum != 100 {
+		t.Fatalf("percentages sum = %d, want 100", sum)
+	}
+}
+
+func TestPercentagesEmpty(t *testing.T) {
+	if out := Percentages(nil); out != nil {
+		t.Fatalf("Percentages(nil) = %v, want nil", out)
+	}
+	if out := Percentages(map[string]int{"a": 0}); out != nil {
+		t.Fatalf("Percentages(zero) = %v, want nil", out)
+	}
+}
+
+func TestPercentagesQuickSumInvariant(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		in := make(map[string]int, len(vals))
+		total := 0
+		for i, v := range vals {
+			in[string(rune('a'+i%26))+string(rune('0'+i/26))] += int(v)
+			total += int(v)
+		}
+		out := Percentages(in)
+		if total == 0 {
+			return out == nil
+		}
+		sum := 0
+		for _, v := range out {
+			sum += v
+		}
+		return sum == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package textclass provides the two text classifiers the paper's content
+// analysis relies on: a character-n-gram naive-Bayes language detector
+// (standing in for Langdetect [11]) and a multinomial naive-Bayes topic
+// classifier (standing in for Mallet [13] / uClassify [14]).
+package textclass
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"torhs/internal/corpus"
+)
+
+// LanguageDetector identifies the language of a text using character
+// n-gram log-likelihoods with Laplace smoothing.
+type LanguageDetector struct {
+	order  int
+	langs  []string
+	logp   []map[string]float64
+	unseen []float64 // per-language smoothed log-probability of an unseen n-gram
+}
+
+// TrainLanguageDetector builds a detector of the given n-gram order
+// (1–4) from the seed corpus. Training texts are sampled with a fixed
+// seed, so training is deterministic.
+func TrainLanguageDetector(order int) (*LanguageDetector, error) {
+	if order < 1 || order > 4 {
+		return nil, fmt.Errorf("textclass: n-gram order %d out of range [1,4]", order)
+	}
+	langs := corpus.Languages()
+	d := &LanguageDetector{
+		order:  order,
+		langs:  langs,
+		logp:   make([]map[string]float64, len(langs)),
+		unseen: make([]float64, len(langs)),
+	}
+	rng := rand.New(rand.NewSource(0x7a9))
+	for i, lang := range langs {
+		text, err := corpus.SampleText(rng, lang, 4000, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("textclass: train %s: %w", lang, err)
+		}
+		counts := make(map[string]int)
+		total := 0
+		for _, g := range ngrams(text, order) {
+			counts[g]++
+			total++
+		}
+		// Laplace smoothing with V = distinct n-grams + 1.
+		v := float64(len(counts) + 1)
+		probs := make(map[string]float64, len(counts))
+		for g, c := range counts {
+			probs[g] = math.Log((float64(c) + 1) / (float64(total) + v))
+		}
+		d.logp[i] = probs
+		d.unseen[i] = math.Log(1 / (float64(total) + v))
+	}
+	return d, nil
+}
+
+// ngrams extracts rune-level n-grams from text, lowercased, with spaces
+// collapsed so layout does not affect detection.
+func ngrams(text string, order int) []string {
+	runes := []rune(strings.ToLower(strings.Join(strings.Fields(text), " ")))
+	if len(runes) < order {
+		return nil
+	}
+	out := make([]string, 0, len(runes)-order+1)
+	for i := 0; i+order <= len(runes); i++ {
+		out = append(out, string(runes[i:i+order]))
+	}
+	return out
+}
+
+// Score is one language's log-likelihood for a text.
+type Score struct {
+	Language string
+	LogProb  float64
+}
+
+// Detect returns the most likely language of text and the margin (in
+// mean log-likelihood per n-gram) over the runner-up. Empty or too-short
+// texts return an error.
+func (d *LanguageDetector) Detect(text string) (string, float64, error) {
+	scores, err := d.Scores(text)
+	if err != nil {
+		return "", 0, err
+	}
+	return scores[0].Language, scores[0].LogProb - scores[1].LogProb, nil
+}
+
+// Scores returns all languages ranked by descending mean log-likelihood
+// per n-gram.
+func (d *LanguageDetector) Scores(text string) ([]Score, error) {
+	grams := ngrams(text, d.order)
+	if len(grams) == 0 {
+		return nil, fmt.Errorf("textclass: text too short for order-%d detection", d.order)
+	}
+	out := make([]Score, len(d.langs))
+	for i, lang := range d.langs {
+		sum := 0.0
+		for _, g := range grams {
+			if lp, ok := d.logp[i][g]; ok {
+				sum += lp
+			} else {
+				sum += d.unseen[i]
+			}
+		}
+		out[i] = Score{Language: lang, LogProb: sum / float64(len(grams))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].LogProb != out[b].LogProb {
+			return out[a].LogProb > out[b].LogProb
+		}
+		return out[a].Language < out[b].Language
+	})
+	return out, nil
+}
+
+// Order returns the detector's n-gram order.
+func (d *LanguageDetector) Order() int { return d.order }

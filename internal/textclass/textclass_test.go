@@ -1,0 +1,168 @@
+package textclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"torhs/internal/corpus"
+)
+
+func TestTrainLanguageDetectorBadOrder(t *testing.T) {
+	for _, order := range []int{0, 5, -1} {
+		if _, err := TrainLanguageDetector(order); err == nil {
+			t.Fatalf("order %d accepted, want error", order)
+		}
+	}
+}
+
+func TestLanguageDetectorAccuracyOnFreshSamples(t *testing.T) {
+	det, err := TrainLanguageDetector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99)) // different seed from training
+	total, correct := 0, 0
+	for _, lang := range corpus.Languages() {
+		for i := 0; i < 20; i++ {
+			text, err := corpus.SampleText(rng, lang, 80, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := det.Detect(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if got == lang {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("language detection accuracy = %.2f, want >= 0.95", acc)
+	}
+}
+
+func TestLanguageDetectorShortTextError(t *testing.T) {
+	det, err := TrainLanguageDetector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := det.Detect(""); err == nil {
+		t.Fatal("Detect(\"\") succeeded, want error")
+	}
+	if _, _, err := det.Detect("ab"); err == nil {
+		t.Fatal("Detect(2 runes) with order 3 succeeded, want error")
+	}
+}
+
+func TestLanguageDetectorScoresSortedAndComplete(t *testing.T) {
+	det, err := TrainLanguageDetector(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	text, _ := corpus.SampleText(rng, corpus.LangGerman, 60, nil, 0)
+	scores, err := det.Scores(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(corpus.Languages()) {
+		t.Fatalf("scores for %d languages, want %d", len(scores), len(corpus.Languages()))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].LogProb < scores[i].LogProb {
+			t.Fatal("scores not sorted descending")
+		}
+	}
+}
+
+func TestLanguageDetectorDistinguishesScripts(t *testing.T) {
+	det, err := TrainLanguageDetector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, lang := range []string{corpus.LangRussian, corpus.LangArabic, corpus.LangChinese, corpus.LangJapanese} {
+		text, _ := corpus.SampleText(rng, lang, 40, nil, 0)
+		got, margin, err := det.Detect(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != lang {
+			t.Fatalf("script-distinct language %s detected as %s", lang, got)
+		}
+		if margin <= 0 {
+			t.Fatalf("margin %v for %s not positive", margin, lang)
+		}
+	}
+}
+
+func TestTopicClassifierAccuracyOnFreshSamples(t *testing.T) {
+	cls, err := TrainTopicClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	total, correct := 0, 0
+	for _, topic := range corpus.AllTopics() {
+		keywords, err := corpus.TopicKeywords(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15; i++ {
+			text, err := corpus.SampleText(rng, corpus.LangEnglish, 120, keywords, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := cls.Classify(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if got == topic {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("topic classification accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestTopicClassifierEmptyText(t *testing.T) {
+	cls, err := TrainTopicClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cls.Classify("   "); err == nil {
+		t.Fatal("Classify(blank) succeeded, want error")
+	}
+}
+
+func TestTokenizeStripsPunctuation(t *testing.T) {
+	got := tokenize("Hello, World! (test)")
+	want := []string{"hello", "world", "test"}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokenize = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopicScoresComplete(t *testing.T) {
+	cls, err := TrainTopicClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := cls.Scores("bitcoin escrow service with guarantee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != corpus.NumTopics {
+		t.Fatalf("scores for %d topics, want %d", len(scores), corpus.NumTopics)
+	}
+}

@@ -1,0 +1,114 @@
+package textclass
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"torhs/internal/corpus"
+)
+
+// TopicClassifier assigns one of the paper's 18 content categories to an
+// English text using a multinomial naive-Bayes model over words.
+type TopicClassifier struct {
+	topics []corpus.Topic
+	logp   []map[string]float64
+	unseen []float64
+}
+
+// TrainTopicClassifier builds the classifier from the seed lexicons. For
+// each topic the training document mixes topic keywords with English
+// function words (the background every page shares), so the model learns
+// to discount the background. Training is deterministic.
+func TrainTopicClassifier() (*TopicClassifier, error) {
+	topics := corpus.AllTopics()
+	c := &TopicClassifier{
+		topics: topics,
+		logp:   make([]map[string]float64, len(topics)),
+		unseen: make([]float64, len(topics)),
+	}
+	rng := rand.New(rand.NewSource(0x70c))
+	for i, topic := range topics {
+		keywords, err := corpus.TopicKeywords(topic)
+		if err != nil {
+			return nil, fmt.Errorf("textclass: train: %w", err)
+		}
+		text, err := corpus.SampleText(rng, corpus.LangEnglish, 4000, keywords, 0.35)
+		if err != nil {
+			return nil, fmt.Errorf("textclass: train %v: %w", topic, err)
+		}
+		counts := make(map[string]int)
+		total := 0
+		for _, w := range tokenize(text) {
+			counts[w]++
+			total++
+		}
+		v := float64(len(counts) + 1)
+		probs := make(map[string]float64, len(counts))
+		for w, n := range counts {
+			probs[w] = math.Log((float64(n) + 1) / (float64(total) + v))
+		}
+		c.logp[i] = probs
+		c.unseen[i] = math.Log(1 / (float64(total) + v))
+	}
+	return c, nil
+}
+
+// tokenize lowercases and splits a text into word tokens, stripping basic
+// punctuation.
+func tokenize(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, ".,;:!?\"'()[]<>")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TopicScore is one topic's log-likelihood for a text.
+type TopicScore struct {
+	Topic   corpus.Topic
+	LogProb float64
+}
+
+// Classify returns the most likely topic and its margin over the
+// runner-up (mean log-likelihood per token).
+func (c *TopicClassifier) Classify(text string) (corpus.Topic, float64, error) {
+	scores, err := c.Scores(text)
+	if err != nil {
+		return 0, 0, err
+	}
+	return scores[0].Topic, scores[0].LogProb - scores[1].LogProb, nil
+}
+
+// Scores ranks all topics by descending mean log-likelihood per token.
+func (c *TopicClassifier) Scores(text string) ([]TopicScore, error) {
+	tokens := tokenize(text)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("textclass: empty text")
+	}
+	out := make([]TopicScore, len(c.topics))
+	for i, topic := range c.topics {
+		sum := 0.0
+		for _, w := range tokens {
+			if lp, ok := c.logp[i][w]; ok {
+				sum += lp
+			} else {
+				sum += c.unseen[i]
+			}
+		}
+		out[i] = TopicScore{Topic: topic, LogProb: sum / float64(len(tokens))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].LogProb != out[b].LogProb {
+			return out[a].LogProb > out[b].LogProb
+		}
+		return out[a].Topic < out[b].Topic
+	})
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Package torhs is the public facade of the reproduction of Biryukov,
+// Pustogarov, Thill and Weinmann, "Content and popularity analysis of Tor
+// hidden services" (ICDCS 2014).
+//
+// The package re-exports the experiment harness: a Study generates a
+// calibrated synthetic hidden-service landscape and regenerates every
+// table and figure of the paper against it. Lower-level building blocks
+// (the HSDir ring, the trawling attack, the tracking detector, …) live in
+// the internal/ packages and are documented in DESIGN.md.
+//
+// Quick start:
+//
+//	study, err := torhs.NewStudy(torhs.DefaultStudyConfig(42))
+//	if err != nil { ... }
+//	err = study.RunAll(os.Stdout)
+package torhs
+
+import (
+	"io"
+
+	"torhs/internal/experiments"
+)
+
+// StudyConfig parameterises a full study run.
+type StudyConfig = experiments.Config
+
+// Study owns a generated hidden-service landscape and runs the paper's
+// experiments against it.
+type Study = experiments.Study
+
+// PopularityResult bundles the Table II artefacts (harvest, resolution,
+// ranking).
+type PopularityResult = experiments.PopularityResult
+
+// TrackingResult bundles the Section VII artefacts (scenario ground truth
+// and the detector's report).
+type TrackingResult = experiments.TrackingResult
+
+// DefaultStudyConfig returns a laptop-scale configuration whose result
+// shapes match the paper.
+func DefaultStudyConfig(seed int64) StudyConfig {
+	return experiments.DefaultConfig(seed)
+}
+
+// NewStudy generates the population and wires the substrates.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	return experiments.NewStudy(cfg)
+}
+
+// RunFullStudy is the one-call entry point: generate a landscape with the
+// given seed and render every table and figure to w.
+func RunFullStudy(seed int64, w io.Writer) error {
+	study, err := NewStudy(DefaultStudyConfig(seed))
+	if err != nil {
+		return err
+	}
+	return study.RunAll(w)
+}

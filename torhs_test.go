@@ -1,0 +1,52 @@
+package torhs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFullStudy is the end-to-end integration test: one seed, every
+// experiment, all renders present.
+func TestRunFullStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study in -short mode")
+	}
+	cfg := DefaultStudyConfig(1)
+	cfg.Scale = 0.03
+	cfg.Clients = 400
+	cfg.TrawlIPs = 20
+	cfg.TrawlSteps = 5
+	cfg.Relays = 300
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 1", "55080-Skynet",
+		"HTTPS certificates",
+		"Table I",
+		"language mix",
+		"Fig. 2", "Adult",
+		"Table II", "Goldnet", "SilkRoad",
+		"Fig. 3",
+		"Section VII", "FULL TAKEOVER",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("study output missing %q", want)
+		}
+	}
+}
+
+func TestNewStudyRejectsBadScale(t *testing.T) {
+	cfg := DefaultStudyConfig(1)
+	cfg.Scale = -1
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
