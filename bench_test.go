@@ -330,22 +330,36 @@ func BenchmarkTrackingScenarioBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkFullStudy runs every experiment end-to-end at reduced scale.
+// BenchmarkFullStudy runs every experiment end-to-end at reduced scale,
+// once pinned to a single worker (the sequential baseline) and once with
+// one worker per CPU. The rendered output is identical in both cases;
+// only the wall clock differs.
 func BenchmarkFullStudy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		cfg := experiments.DefaultConfig(int64(i))
-		cfg.Scale = 0.02
-		cfg.Clients = 300
-		cfg.TrawlIPs = 15
-		cfg.TrawlSteps = 4
-		cfg.Relays = 300
-		study, err := experiments.NewStudy(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := study.RunAll(io.Discard); err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=all", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultConfig(int64(i))
+				cfg.Scale = 0.02
+				cfg.Clients = 300
+				cfg.TrawlIPs = 15
+				cfg.TrawlSteps = 4
+				cfg.Relays = 300
+				cfg.Workers = bc.workers
+				study, err := experiments.NewStudy(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := study.RunAll(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -35,6 +35,7 @@ func run() error {
 		trawlIPs   = flag.Int("trawl-ips", 30, "trawling fleet IP addresses")
 		trawlSteps = flag.Int("trawl-steps", 8, "trawling rotation steps")
 		relays     = flag.Int("relays", 350, "honest relay network size")
+		workers    = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = one per CPU; stages can overlap, so peak concurrency may exceed this); output is identical at every value")
 		experiment = flag.String("experiment", "all", "experiment to run: all|collection|scan|content|popularity|deanon|service-deanon|tracking")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func run() error {
 		TrawlIPs:   *trawlIPs,
 		TrawlSteps: *trawlSteps,
 		Relays:     *relays,
+		Workers:    *workers,
 	}
 	study, err := experiments.NewStudy(cfg)
 	if err != nil {

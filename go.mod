@@ -1,0 +1,3 @@
+module torhs
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"torhs/internal/darknet"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 	"torhs/internal/stats"
 	"torhs/internal/textclass"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	MinWords int
 	// LangOrder is the language detector's n-gram order.
 	LangOrder int
+	// Workers shards the crawl across goroutines (<= 0: one per CPU).
+	// Destinations for the same address always stay on one shard, so
+	// duplicate-443 detection and the final tallies are identical at
+	// every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -115,14 +121,11 @@ func DestinationsFromPorts(perAddress map[onion.Address][]int) []Destination {
 	return out
 }
 
-// Crawl runs the full Section IV pipeline over the destinations.
-func (c *Crawler) Crawl(dests []Destination) (*Result, error) {
-	res := &Result{
-		Attempted:       len(dests),
-		ConnectedByPort: make(map[int]int),
-		LanguageCounts:  make(map[string]int),
-		TopicCounts:     make(map[corpus.Topic]int),
-	}
+// crawlSpan runs the Section IV pipeline over one contiguous span of the
+// (address-sorted) destination list. The span must never split an
+// address across shards: duplicate-443 detection needs the port-80 body
+// fetched in the same span.
+func (c *Crawler) crawlSpan(dests []Destination, res *Result) {
 	torhostBody := darknet.TorhostDefaultBody()
 
 	// Bodies of port-80 fetches per address, for duplicate detection.
@@ -184,6 +187,71 @@ func (c *Crawler) Crawl(dests []Destination) (*Result, error) {
 			continue
 		}
 		res.TopicCounts[topic]++
+	}
+}
+
+// newPartialResult allocates the map fields of a shard tally.
+func newPartialResult() *Result {
+	return &Result{
+		ConnectedByPort: make(map[int]int),
+		LanguageCounts:  make(map[string]int),
+		TopicCounts:     make(map[corpus.Topic]int),
+	}
+}
+
+// merge folds a shard tally into r. All fields are sums or map folds, so
+// the merged result is independent of shard boundaries and scheduling.
+func (r *Result) merge(o *Result) {
+	r.OpenAtCrawl += o.OpenAtCrawl
+	r.Connected += o.Connected
+	r.ExcludedShort += o.ExcludedShort
+	r.ExcludedSSHBanners += o.ExcludedSSHBanners
+	r.ExcludedDup443 += o.ExcludedDup443
+	r.ExcludedError += o.ExcludedError
+	r.Classified += o.Classified
+	r.EnglishTotal += o.EnglishTotal
+	r.TorhostDefault += o.TorhostDefault
+	for p, n := range o.ConnectedByPort {
+		r.ConnectedByPort[p] += n
+	}
+	for l, n := range o.LanguageCounts {
+		r.LanguageCounts[l] += n
+	}
+	for t, n := range o.TopicCounts {
+		r.TopicCounts[t] += n
+	}
+}
+
+// Crawl runs the full Section IV pipeline over the destinations, sharded
+// across cfg.Workers goroutines. Destinations must be grouped by address
+// (DestinationsFromPorts guarantees this); shard cuts are placed on
+// address boundaries.
+func (c *Crawler) Crawl(dests []Destination) (*Result, error) {
+	res := newPartialResult()
+	res.Attempted = len(dests)
+
+	// Group boundaries: groups[g] is the start index of the g-th
+	// address's run of destinations.
+	groups := make([]int, 0, len(dests))
+	for i := range dests {
+		if i == 0 || dests[i].Addr != dests[i-1].Addr {
+			groups = append(groups, i)
+		}
+	}
+
+	partials := make([]*Result, parallel.NumChunks(c.cfg.Workers, len(groups)))
+	parallel.Chunks(c.cfg.Workers, len(groups), func(shard, lo, hi int) {
+		start := groups[lo]
+		end := len(dests)
+		if hi < len(groups) {
+			end = groups[hi]
+		}
+		p := newPartialResult()
+		c.crawlSpan(dests[start:end], p)
+		partials[shard] = p
+	})
+	for _, p := range partials {
+		res.merge(p)
 	}
 	return res, nil
 }

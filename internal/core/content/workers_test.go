@@ -1,0 +1,55 @@
+package content
+
+import (
+	"reflect"
+	"testing"
+
+	"torhs/internal/core/scan"
+	"torhs/internal/darknet"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+)
+
+// TestCrawlIdenticalAcrossWorkerCounts asserts the sharded crawl tallies
+// exactly what the sequential crawl does — including the duplicate-443
+// exclusions, which require shard cuts on address boundaries.
+func TestCrawlIdenticalAcrossWorkerCounts(t *testing.T) {
+	pop, err := hspop.Generate(hspop.TestConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := darknet.New(pop)
+	sc, err := scan.New(fabric, scan.DefaultConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]onion.Address, 0, pop.Len())
+	for _, s := range pop.Services {
+		addrs = append(addrs, s.Address)
+	}
+	dests := DestinationsFromPorts(sc.ScanAll(addrs).PerAddress)
+
+	var base *Result
+	for _, workers := range []int{1, 3, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cr, err := New(fabric, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cr.Crawl(dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("crawl result differs between workers=1 and workers=%d:\nbase: %+v\ngot:  %+v", workers, base, res)
+		}
+	}
+	if base.Classified == 0 {
+		t.Fatal("empty crawl")
+	}
+}

@@ -6,13 +6,13 @@ package scan
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 
 	"torhs/internal/darknet"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 )
 
 // Config parameterises the scan campaign.
@@ -26,6 +26,10 @@ type Config struct {
 	DailyOfflineProb float64
 	// Seed drives the per-day availability draws.
 	Seed int64
+	// Workers shards the sweep across goroutines (<= 0: one per CPU).
+	// Availability draws are derived per address, so results are
+	// identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's campaign shape.
@@ -84,48 +88,91 @@ func (s *Scanner) portDay(port int) int {
 	return port * s.cfg.Days / 65536
 }
 
-// ScanAll runs the campaign over the address list.
+// shardResult is one worker's partial campaign tally.
+type shardResult struct {
+	withDescriptor int
+	timeouts       int
+	truePorts      int
+	openPortCount  map[int]int
+	abnormalCount  map[int]int
+	perAddress     map[onion.Address][]int
+}
+
+// scanOne sweeps a single address into the shard tally. Availability is
+// drawn from an RNG derived from (seed, address index), so the outcome
+// for an address never depends on which worker swept it.
+func (s *Scanner) scanOne(idx int, addr onion.Address, out *shardResult) {
+	ports, status := s.fabric.AnsweringPorts(addr, darknet.PhaseScan)
+	switch status {
+	case darknet.ProbeNoDescriptor:
+		return
+	case darknet.ProbeTimeout:
+		out.withDescriptor++
+		out.timeouts++
+		return
+	}
+	out.withDescriptor++
+	out.truePorts += len(ports)
+
+	// Per-day availability: a chunk's ports are missed if the service
+	// was offline on that chunk's scan day.
+	rng := parallel.NewRNG(parallel.SeedFor(s.cfg.Seed, int64(idx)))
+	offline := make([]bool, s.cfg.Days)
+	for d := range offline {
+		offline[d] = rng.Float64() < s.cfg.DailyOfflineProb
+	}
+	var found []int
+	for _, p := range ports {
+		if offline[s.portDay(p)] {
+			continue
+		}
+		found = append(found, p)
+		out.openPortCount[p]++
+		if s.fabric.Probe(addr, p, darknet.PhaseScan) == darknet.ProbeAbnormal {
+			out.abnormalCount[p]++
+		}
+	}
+	if len(found) > 0 {
+		out.perAddress[addr] = found
+	}
+}
+
+// ScanAll runs the campaign over the address list, sharded across
+// cfg.Workers goroutines.
 func (s *Scanner) ScanAll(addrs []onion.Address) *Result {
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	res := &Result{
 		TotalAddresses: len(addrs),
 		OpenPortCount:  make(map[int]int),
 		AbnormalCount:  make(map[int]int),
 		PerAddress:     make(map[onion.Address][]int, len(addrs)),
 	}
-	truePorts := 0
-	for _, addr := range addrs {
-		ports, status := s.fabric.AnsweringPorts(addr, darknet.PhaseScan)
-		switch status {
-		case darknet.ProbeNoDescriptor:
-			continue
-		case darknet.ProbeTimeout:
-			res.WithDescriptor++
-			res.Timeouts++
-			continue
+	shards := make([]shardResult, parallel.NumChunks(s.cfg.Workers, len(addrs)))
+	parallel.Chunks(s.cfg.Workers, len(addrs), func(shard, lo, hi int) {
+		out := &shards[shard]
+		out.openPortCount = make(map[int]int)
+		out.abnormalCount = make(map[int]int)
+		out.perAddress = make(map[onion.Address][]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			s.scanOne(i, addrs[i], out)
 		}
-		res.WithDescriptor++
-		truePorts += len(ports)
+	})
 
-		// Per-day availability: a chunk's ports are missed if the
-		// service was offline on that chunk's scan day.
-		offline := make([]bool, s.cfg.Days)
-		for d := range offline {
-			offline[d] = rng.Float64() < s.cfg.DailyOfflineProb
+	// Merge in shard order; every field is a sum or a disjoint-key map
+	// union, so the merged result is independent of scheduling.
+	truePorts := 0
+	for i := range shards {
+		sh := &shards[i]
+		res.WithDescriptor += sh.withDescriptor
+		res.Timeouts += sh.timeouts
+		truePorts += sh.truePorts
+		for p, n := range sh.openPortCount {
+			res.OpenPortCount[p] += n
 		}
-		var found []int
-		for _, p := range ports {
-			if offline[s.portDay(p)] {
-				continue
-			}
-			found = append(found, p)
-			res.OpenPortCount[p]++
-			if s.fabric.Probe(addr, p, darknet.PhaseScan) == darknet.ProbeAbnormal {
-				res.AbnormalCount[p]++
-			}
+		for p, n := range sh.abnormalCount {
+			res.AbnormalCount[p] += n
 		}
-		if len(found) > 0 {
-			res.PerAddress[addr] = found
+		for a, ports := range sh.perAddress {
+			res.PerAddress[a] = ports
 		}
 	}
 	for _, n := range res.OpenPortCount {

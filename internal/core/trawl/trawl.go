@@ -16,6 +16,7 @@ import (
 	"torhs/internal/hsdir"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 	"torhs/internal/relay"
 	"torhs/internal/relaynet"
 	"torhs/internal/simnet"
@@ -44,6 +45,10 @@ type Config struct {
 	// ClientConfig configures the client population when DriveTraffic is
 	// set.
 	ClientConfig simnet.Config
+	// Workers shards the per-step traffic drive and the attacker
+	// directory read-out across goroutines (<= 0: one per CPU). Results
+	// are identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's deployment at simulation scale.
@@ -199,9 +204,14 @@ func (t *Trawler) Run(
 		now := attackStart.Add(time.Duration(step) * t.cfg.StepLen)
 		t.rotate(step)
 		doc := sim.Authority().Publish(now)
+		hsdirs := doc.HSDirs()
+		if len(hsdirs) == 0 {
+			return nil, fmt.Errorf("trawl: step %d: consensus has no HSDir-flagged relays", step)
+		}
 
 		cfg := t.cfg.ClientConfig
 		cfg.Seed = cfg.Seed*1000003 + int64(step) // fresh but deterministic per step
+		cfg.Workers = t.cfg.Workers
 		net, err := simnet.NewNetwork(doc, db, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("trawl: step %d: %w", step, err)
@@ -212,33 +222,42 @@ func (t *Trawler) Run(
 			net.DriveWindow(pop, now, t.cfg.StepLen, nil)
 		}
 
-		// Read out every attacker-operated directory.
-		attackerDirs := 0
-		for _, fp := range doc.HSDirs() {
-			if !t.allFPs[fp] {
-				continue
-			}
-			attackerDirs++
-			dir, ok := net.Directory(fp)
-			if !ok {
-				continue
-			}
-			for _, desc := range dir.All() {
-				h.DescriptorsSeen++
-				h.Addresses[desc.Address] = true
-				h.PermIDs[desc.Address] = desc.PermID
-			}
-			for _, id := range dir.PublishedIDs() {
-				publishedIDs[id] = true
-			}
-			if t.cfg.DriveTraffic {
-				h.Log.Merge(dir.Log())
-				for _, id := range dir.RequestedPublishedIDs() {
-					requestedPublished[id] = true
-				}
+		// Read out every attacker-operated directory, fanned out across
+		// workers; per-shard partials merge into the harvest in shard
+		// order, and every harvest field is a set union or a sum, so the
+		// read-out is identical at every worker count.
+		attacker := make([]onion.Fingerprint, 0, 2*len(t.fleet))
+		for _, fp := range hsdirs {
+			if t.allFPs[fp] {
+				attacker = append(attacker, fp)
 			}
 		}
-		h.StepCoverage = append(h.StepCoverage, float64(attackerDirs)/float64(len(doc.HSDirs())))
+		shards := make([]readout, parallel.NumChunks(t.cfg.Workers, len(attacker)))
+		parallel.Chunks(t.cfg.Workers, len(attacker), func(shard, lo, hi int) {
+			out := &shards[shard]
+			out.init()
+			for _, fp := range attacker[lo:hi] {
+				t.readDirectory(net, fp, out)
+			}
+		})
+		for i := range shards {
+			sh := &shards[i]
+			h.DescriptorsSeen += sh.descriptorsSeen
+			for a, id := range sh.permIDs {
+				h.Addresses[a] = true
+				h.PermIDs[a] = id
+			}
+			for id := range sh.publishedIDs {
+				publishedIDs[id] = true
+			}
+			for id := range sh.requestedPublished {
+				requestedPublished[id] = true
+			}
+			for _, log := range sh.logs {
+				h.Log.Merge(log)
+			}
+		}
+		h.StepCoverage = append(h.StepCoverage, float64(len(attacker))/float64(len(hsdirs)))
 	}
 
 	h.PublishedIDsSeen = len(publishedIDs)
@@ -247,6 +266,43 @@ func (t *Trawler) Run(
 		h.CollectedFraction = float64(len(h.Addresses)) / float64(len(published))
 	}
 	return h, nil
+}
+
+// readout is one worker's partial read of the attacker directories.
+type readout struct {
+	descriptorsSeen    int
+	permIDs            map[onion.Address]onion.PermanentID
+	publishedIDs       map[onion.DescriptorID]bool
+	requestedPublished map[onion.DescriptorID]bool
+	logs               []*hsdir.RequestLog
+}
+
+func (r *readout) init() {
+	r.permIDs = make(map[onion.Address]onion.PermanentID)
+	r.publishedIDs = make(map[onion.DescriptorID]bool)
+	r.requestedPublished = make(map[onion.DescriptorID]bool)
+}
+
+// readDirectory harvests one attacker-operated directory into the shard
+// tally.
+func (t *Trawler) readDirectory(net *simnet.Network, fp onion.Fingerprint, out *readout) {
+	dir, ok := net.Directory(fp)
+	if !ok {
+		return
+	}
+	for _, desc := range dir.All() {
+		out.descriptorsSeen++
+		out.permIDs[desc.Address] = desc.PermID
+	}
+	for _, id := range dir.PublishedIDs() {
+		out.publishedIDs[id] = true
+	}
+	if t.cfg.DriveTraffic {
+		out.logs = append(out.logs, dir.Log())
+		for _, id := range dir.RequestedPublishedIDs() {
+			out.requestedPublished[id] = true
+		}
+	}
 }
 
 // RequestedPublishedFraction returns the share of observed published

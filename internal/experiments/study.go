@@ -21,6 +21,7 @@ import (
 	"torhs/internal/geo"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 	"torhs/internal/relaynet"
 	"torhs/internal/simnet"
 )
@@ -40,6 +41,13 @@ type Config struct {
 	TrawlSteps int
 	// Relays sizes the honest relay network for traffic experiments.
 	Relays int
+	// Workers is the per-stage worker count (<= 0: one per CPU): the
+	// experiment scheduler admits up to Workers experiments at once,
+	// and each experiment shards its own hot loop across Workers
+	// goroutines, so the study's peak goroutine count can exceed the
+	// knob when experiments overlap. For a fixed Seed the rendered
+	// output is byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig runs a laptop-scale study whose shapes match the paper.
@@ -142,6 +150,7 @@ func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
 	tCfg.IPs = s.cfg.TrawlIPs
 	tCfg.Steps = s.cfg.TrawlSteps
 	tCfg.DriveTraffic = false
+	tCfg.Workers = s.cfg.Workers
 	tr, err := trawl.NewTrawler(tCfg)
 	if err != nil {
 		return nil, err
@@ -215,7 +224,9 @@ func (s *Study) RunPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) 
 
 // RunScan executes E1 (Fig. 1) and the certificate audit (E2).
 func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
-	sc, err := scan.New(s.fabric, scan.DefaultConfig(s.cfg.Seed))
+	scCfg := scan.DefaultConfig(s.cfg.Seed)
+	scCfg.Workers = s.cfg.Workers
+	sc, err := scan.New(s.fabric, scCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -226,7 +237,9 @@ func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
 // RunContent executes E3–E5 (Table I, language mix, Fig. 2), feeding the
 // crawl with the scan's destinations.
 func (s *Study) RunContent(scanRes *scan.Result) (*content.Result, error) {
-	cr, err := content.New(s.fabric, content.DefaultConfig())
+	crCfg := content.DefaultConfig()
+	crCfg.Workers = s.cfg.Workers
+	cr, err := content.New(s.fabric, crCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +268,7 @@ func (s *Study) RunPopularity() (*PopularityResult, error) {
 	tCfg.IPs = s.cfg.TrawlIPs
 	tCfg.Steps = s.cfg.TrawlSteps
 	tCfg.ClientConfig.Clients = s.cfg.Clients
+	tCfg.Workers = s.cfg.Workers
 	tr, err := trawl.NewTrawler(tCfg)
 	if err != nil {
 		return nil, err
@@ -303,6 +317,7 @@ func (s *Study) RunDeanon() (*deanon.Report, error) {
 	doc := h.All()[0]
 	netCfg := simnet.DefaultConfig(s.cfg.Seed)
 	netCfg.Clients = s.cfg.Clients
+	netCfg.Workers = s.cfg.Workers
 	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
 	if err != nil {
 		return nil, err
@@ -330,6 +345,7 @@ func (s *Study) RunServiceDeanon() (*deanon.ServiceReport, error) {
 	doc := h.All()[0]
 	netCfg := simnet.DefaultConfig(s.cfg.Seed)
 	netCfg.Clients = 10 // client traffic is irrelevant here
+	netCfg.Workers = s.cfg.Workers
 	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
 	if err != nil {
 		return nil, err
@@ -357,7 +373,10 @@ type TrackingResult struct {
 // RunTracking executes E8: build the Silk Road consensus history with
 // planted trackers and detect them.
 func (s *Study) RunTracking() (*TrackingResult, error) {
-	sc, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(s.cfg.Seed))
+	// One config for both the scenario build and the analysis window, so
+	// the two can never silently diverge.
+	scCfg := tracking.DefaultScenarioConfig(s.cfg.Seed)
+	sc, err := tracking.BuildScenario(scCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -366,64 +385,108 @@ func (s *Study) RunTracking() (*TrackingResult, error) {
 		return nil, err
 	}
 	rep, err := an.Analyze(sc.History, sc.Target, sc.Start,
-		sc.Start.Add(time.Duration(tracking.DefaultScenarioConfig(s.cfg.Seed).Days)*24*time.Hour))
+		sc.Start.Add(time.Duration(scCfg.Days)*24*time.Hour))
 	if err != nil {
 		return nil, err
 	}
 	return &TrackingResult{Scenario: sc, Report: rep}, nil
 }
 
+// studyResults holds every experiment's artefacts while the scheduler
+// collects them out of order.
+type studyResults struct {
+	comparison *CollectionComparison
+	scanRes    *scan.Result
+	audit      *scan.CertAudit
+	contentRes *content.Result
+	clusters   []PrefixCluster
+	popRes     *PopularityResult
+	deaRes     *deanon.Report
+	svcRes     *deanon.ServiceReport
+	trackRes   *TrackingResult
+}
+
 // RunAll executes every experiment and renders the results to w.
+//
+// Execution is decoupled from rendering: the independent experiments run
+// concurrently (they already derive disjoint seed streams via
+// newRelayNetwork's seed offsets, and the shared population, fabric and
+// geo database are read-only once built), the content crawl chains after
+// the scan it feeds on, and when everything has finished the results are
+// rendered sequentially in the paper's order. For a fixed seed the
+// output is byte-identical at every Workers value.
 func (s *Study) RunAll(w io.Writer) error {
-	comparison, err := s.RunCollectionComparison()
-	if err != nil {
-		return fmt.Errorf("collection comparison: %w", err)
+	var res studyResults
+	g := parallel.NewGroup(s.cfg.Workers)
+	g.Go(func() error {
+		var err error
+		if res.comparison, err = s.RunCollectionComparison(); err != nil {
+			return fmt.Errorf("collection comparison: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.scanRes, res.audit, err = s.RunScan(); err != nil {
+			return fmt.Errorf("scan: %w", err)
+		}
+		// The crawl consumes the scan's destinations, so it chains here
+		// rather than running as its own task.
+		if res.contentRes, err = s.RunContent(res.scanRes); err != nil {
+			return fmt.Errorf("content: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.clusters, err = s.RunPrefixAudit(7, 3); err != nil {
+			return fmt.Errorf("prefix audit: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.popRes, err = s.RunPopularity(); err != nil {
+			return fmt.Errorf("popularity: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.deaRes, err = s.RunDeanon(); err != nil {
+			return fmt.Errorf("deanon: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.svcRes, err = s.RunServiceDeanon(); err != nil {
+			return fmt.Errorf("service deanon: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		if res.trackRes, err = s.RunTracking(); err != nil {
+			return fmt.Errorf("tracking: %w", err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return err
 	}
-	RenderCollectionComparison(w, comparison)
 
-	scanRes, audit, err := s.RunScan()
-	if err != nil {
-		return fmt.Errorf("scan: %w", err)
-	}
-	RenderFig1(w, scanRes)
-	RenderCertAudit(w, audit)
-
-	contentRes, err := s.RunContent(scanRes)
-	if err != nil {
-		return fmt.Errorf("content: %w", err)
-	}
-	RenderTableI(w, contentRes)
-	RenderLanguages(w, contentRes)
-	RenderFig2(w, contentRes)
-
-	clusters, err := s.RunPrefixAudit(7, 3)
-	if err != nil {
-		return fmt.Errorf("prefix audit: %w", err)
-	}
-	RenderPrefixAudit(w, clusters)
-
-	popRes, err := s.RunPopularity()
-	if err != nil {
-		return fmt.Errorf("popularity: %w", err)
-	}
-	RenderTableII(w, popRes, 30)
-
-	deaRes, err := s.RunDeanon()
-	if err != nil {
-		return fmt.Errorf("deanon: %w", err)
-	}
-	RenderFig3(w, deaRes)
-
-	svcRes, err := s.RunServiceDeanon()
-	if err != nil {
-		return fmt.Errorf("service deanon: %w", err)
-	}
-	RenderServiceDeanon(w, svcRes)
-
-	trackRes, err := s.RunTracking()
-	if err != nil {
-		return fmt.Errorf("tracking: %w", err)
-	}
-	RenderTracking(w, trackRes)
+	// Render in stable paper order.
+	RenderCollectionComparison(w, res.comparison)
+	RenderFig1(w, res.scanRes)
+	RenderCertAudit(w, res.audit)
+	RenderTableI(w, res.contentRes)
+	RenderLanguages(w, res.contentRes)
+	RenderFig2(w, res.contentRes)
+	RenderPrefixAudit(w, res.clusters)
+	RenderTableII(w, res.popRes, 30)
+	RenderFig3(w, res.deaRes)
+	RenderServiceDeanon(w, res.svcRes)
+	RenderTracking(w, res.trackRes)
 	return nil
 }

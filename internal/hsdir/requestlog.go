@@ -91,9 +91,30 @@ func (l *RequestLog) Requests() []Request {
 	return out
 }
 
-// Merge folds other's requests into l. The other log is left unchanged.
+// Merge folds other's requests into l with one bulk append and a map
+// fold, taking each log's lock exactly once. The other log is left
+// unchanged.
 func (l *RequestLog) Merge(other *RequestLog) {
-	for _, r := range other.Requests() {
-		l.record(r)
+	if other == nil || other == l {
+		return
 	}
+	// Snapshot under other's lock only, so the two locks are never held
+	// together (no ordering to deadlock on).
+	other.mu.Lock()
+	requests := make([]Request, len(other.requests))
+	copy(requests, other.requests)
+	perID := make(map[onion.DescriptorID]int, len(other.perID))
+	for id, n := range other.perID {
+		perID[id] = n
+	}
+	found := other.found
+	other.mu.Unlock()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests = append(l.requests, requests...)
+	for id, n := range perID {
+		l.perID[id] += n
+	}
+	l.found += found
 }

@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 1000
+		var hits [n]int32
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		for _, n := range []int{0, 1, 5, 97} {
+			covered := make([]int32, n)
+			shards := NumChunks(workers, n)
+			seen := make([]int32, shards+1)
+			Chunks(workers, n, func(shard, lo, hi int) {
+				atomic.AddInt32(&seen[shard], 1)
+				if lo > hi || hi > n {
+					t.Errorf("bad span [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+			for s := 0; s < shards; s++ {
+				if seen[s] != 1 {
+					t.Fatalf("workers=%d n=%d: shard %d run %d times", workers, n, s, seen[s])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupReturnsFirstErrorInOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	release := make(chan struct{})
+	g := NewGroup(4)
+	g.Go(func() error { <-release; return errA }) // scheduled first, finishes last
+	g.Go(func() error { return errB })
+	g.Go(func() error { close(release); return nil })
+	if err := g.Wait(); err != errA {
+		t.Fatalf("Wait() = %v, want first-scheduled error %v", err, errA)
+	}
+}
+
+func TestGroupNilOnSuccess(t *testing.T) {
+	g := NewGroup(2)
+	var n int32
+	for i := 0; i < 10; i++ {
+		g.Go(func() error { atomic.AddInt32(&n, 1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("ran %d tasks, want 10", n)
+	}
+}
+
+func TestSeedForIsPureAndSpread(t *testing.T) {
+	if SeedFor(42, 7) != SeedFor(42, 7) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 1000; i++ {
+		s := SeedFor(42, i)
+		if seen[s] {
+			t.Fatalf("collision at idx %d", i)
+		}
+		seen[s] = true
+	}
+	if SeedFor(1, 0) == SeedFor(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}

@@ -27,10 +27,14 @@ type Client struct {
 	gs guardSet
 }
 
+// minGuardLifetime is the shortest guard rotation lifetime; a freshly
+// refreshed guard is guaranteed stable for at least this long.
+const minGuardLifetime = 30 * 24 * time.Hour
+
 // guardLifetime draws a guard rotation lifetime uniform in [30,60) days,
 // as the Tor client does.
 func guardLifetime(rng *rand.Rand) time.Duration {
-	return time.Duration(30+rng.Intn(30)) * 24 * time.Hour
+	return minGuardLifetime + time.Duration(rng.Intn(30))*24*time.Hour
 }
 
 // PickGuard returns the entry guard for a new circuit at instant now,

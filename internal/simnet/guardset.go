@@ -51,8 +51,16 @@ type guardSet struct {
 }
 
 func (g *guardSet) refreshPool(pool *guardPool, rng *rand.Rand, now time.Time) {
+	g.refreshPoolUntil(pool, rng, now, now)
+}
+
+// refreshPoolUntil rotates every guard that is (or will be by horizon)
+// expired. Refreshing up to a horizon lets DriveWindow guarantee that no
+// guard expires inside a driven window, so concurrent fetches only read
+// guard state.
+func (g *guardSet) refreshPoolUntil(pool *guardPool, rng *rand.Rand, now, horizon time.Time) {
 	for i := range g.guards {
-		if g.expiry[i].IsZero() || now.After(g.expiry[i]) {
+		if g.expiry[i].IsZero() || horizon.After(g.expiry[i]) {
 			g.guards[i] = pool.sample(rng)
 			g.expiry[i] = now.Add(guardLifetime(rng))
 		}

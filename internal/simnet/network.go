@@ -12,6 +12,7 @@ import (
 	"torhs/internal/hsdir"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 	"torhs/internal/stats"
 )
 
@@ -26,6 +27,7 @@ type Network struct {
 	guards     []onion.Fingerprint
 	pool       *guardPool
 	dirFailure float64
+	workers    int
 
 	geoDB   *geo.DB
 	clients []*Client
@@ -53,6 +55,11 @@ type Config struct {
 	DirFailureProb float64
 	// Seed drives the network's randomness.
 	Seed int64
+	// Workers shards DriveWindow's fetch execution across goroutines
+	// (<= 0: one per CPU). Each fetch draws from an RNG derived from the
+	// request's index in the traffic plan, so the driven window is
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns a client population sized for tests and examples.
@@ -93,6 +100,7 @@ func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, erro
 		geoDB:      db,
 		hosts:      make(map[onion.Address]*Host),
 		dirFailure: cfg.DirFailureProb,
+		workers:    cfg.Workers,
 	}
 	for _, fp := range hsdirs {
 		n.dirs[fp] = hsdir.NewDirectory(fp, 24*time.Hour)
@@ -213,24 +221,31 @@ type FetchEvent struct {
 // its *local* clock, picks a replica, and queries one of the responsible
 // directories through one of its guards.
 func (n *Network) FetchDescriptor(c *Client, permID onion.PermanentID, now time.Time) FetchEvent {
-	local := c.LocalTime(now)
-	replica := uint8(n.rng.Intn(onion.Replicas))
-	descID := onion.ComputeDescriptorID(permID, local, replica)
-	return n.fetchByID(c, descID, now)
+	return n.fetchDescriptor(n.rng, c, permID, now)
 }
 
 // FetchRawID performs one fetch for an arbitrary descriptor ID (used for
 // the phantom requests to never-published descriptors).
 func (n *Network) FetchRawID(c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
-	return n.fetchByID(c, descID, now)
+	return n.fetchByID(n.rng, c, descID, now)
 }
 
-func (n *Network) fetchByID(c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
-	guard := c.gs.pickPool(n.pool, n.rng, now)
+// fetchDescriptor is FetchDescriptor with the randomness source made
+// explicit so DriveWindow can run fetches concurrently on per-request
+// RNGs.
+func (n *Network) fetchDescriptor(rng *rand.Rand, c *Client, permID onion.PermanentID, now time.Time) FetchEvent {
+	local := c.LocalTime(now)
+	replica := uint8(rng.Intn(onion.Replicas))
+	descID := onion.ComputeDescriptorID(permID, local, replica)
+	return n.fetchByID(rng, c, descID, now)
+}
+
+func (n *Network) fetchByID(rng *rand.Rand, c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
+	guard := c.gs.pickPool(n.pool, rng, now)
 	responsible := n.ring.Responsible(descID, onion.SpreadPerReplica)
 	// Contact the responsible directories in random order, falling back
 	// on unreachable ones, as the Tor client does.
-	order := n.rng.Perm(len(responsible))
+	order := rng.Perm(len(responsible))
 	ev := FetchEvent{
 		Client: c,
 		Guard:  guard,
@@ -240,7 +255,7 @@ func (n *Network) fetchByID(c *Client, descID onion.DescriptorID, now time.Time)
 	for _, i := range order {
 		ev.Attempts++
 		ev.Dir = responsible[i]
-		if n.dirFailure > 0 && n.rng.Float64() < n.dirFailure {
+		if n.dirFailure > 0 && rng.Float64() < n.dirFailure {
 			continue // this directory was unreachable; try the next
 		}
 		_, ev.Found = n.dirs[ev.Dir].Fetch(descID, now)
@@ -258,12 +273,29 @@ type TrafficStats struct {
 	ResolvedHits    int
 }
 
+// warmGuardSets rotates-in the guard set of every client, using the
+// network RNG sequentially, refreshing any guard that would expire
+// before horizon. DriveWindow calls it before fanning out so that
+// concurrent fetches only *read* guard state: after warming, every
+// guard's expiry lies beyond the window's end.
+func (n *Network) warmGuardSets(now, horizon time.Time) {
+	for _, c := range n.clients {
+		c.gs.refreshPoolUntil(n.pool, n.rng, now, horizon)
+	}
+}
+
 // DriveWindow generates descriptor-fetch traffic over a measurement
 // window of the given duration starting at start: Poisson counts around
 // each popular service's expected rate, plus phantom requests for
 // never-published descriptor IDs at the configured fraction. The observer
 // callback (optional) sees every fetch event — this is where the
 // signature attack taps in.
+//
+// Execution is three-phase so cfg.Workers never changes the outcome:
+// the traffic plan is drawn sequentially from the network RNG; the
+// fetches execute concurrently, each on an RNG derived from its plan
+// index; and the events are replayed to the stats and the observer
+// sequentially in plan order.
 func (n *Network) DriveWindow(
 	pop *hspop.Population,
 	start time.Time,
@@ -272,18 +304,19 @@ func (n *Network) DriveWindow(
 ) TrafficStats {
 	var out TrafficStats
 
-	type job struct {
-		permID onion.PermanentID
-		count  int
+	// Phase 1: draw the plan sequentially from the network RNG.
+	type planEntry struct {
+		permID  onion.PermanentID
+		phantom bool
 	}
-	jobs := make([]job, 0, 4096)
+	plan := make([]planEntry, 0, 4096)
 	realTotal := 0
 	for _, svc := range pop.PopularServices() {
 		c := stats.Poisson(n.rng, svc.ExpectedRequests)
-		if c > 0 {
-			jobs = append(jobs, job{permID: svc.PermID, count: c})
-			realTotal += c
+		for k := 0; k < c; k++ {
+			plan = append(plan, planEntry{permID: svc.PermID})
 		}
+		realTotal += c
 	}
 
 	// Phantom pool: never-published descriptor IDs, power-law weighted.
@@ -298,35 +331,54 @@ func (n *Network) DriveWindow(
 		f := onion.RandomFingerprint(n.rng)
 		copy(phantomIDs[i][:], f[:])
 	}
+	for k := 0; k < phantomTotal; k++ {
+		plan = append(plan, planEntry{phantom: true})
+	}
+	planSeed := n.rng.Int63()
+	end := start.Add(window)
+	n.warmGuardSets(start, end)
 
-	emit := func(ev FetchEvent) {
+	// Phase 2: execute the fetches concurrently. Each request derives
+	// its RNG from (planSeed, index), directories serialise their own
+	// mutations, and warmed guard sets are only read: warming refreshed
+	// every guard that would expire before end. A freshly refreshed
+	// guard is stable for minGuardLifetime, so for windows that long or
+	// longer the no-mid-window-rotation guarantee cannot hold and we
+	// fall back to serial execution (identical results at every Workers
+	// value either way, since the plan already fixes each request's RNG).
+	workers := n.workers
+	if window >= minGuardLifetime {
+		workers = 1
+	}
+	events := make([]FetchEvent, len(plan))
+	parallel.ForEach(workers, len(plan), func(i int) {
+		rng := parallel.NewRNG(parallel.SeedFor(planSeed, int64(i)))
+		at := start.Add(time.Duration(rng.Int63n(int64(window))))
+		c := n.clients[rng.Intn(len(n.clients))]
+		if plan[i].phantom {
+			// Zipf-ish: low indexes requested far more often.
+			idx := int(float64(len(phantomIDs)) * math.Pow(rng.Float64(), 2.2))
+			if idx >= len(phantomIDs) {
+				idx = len(phantomIDs) - 1
+			}
+			events[i] = n.fetchByID(rng, c, phantomIDs[idx], at)
+		} else {
+			events[i] = n.fetchDescriptor(rng, c, plan[i].permID, at)
+		}
+	})
+
+	// Phase 3: replay in plan order.
+	for i, ev := range events {
 		out.TotalRequests++
 		if ev.Found {
 			out.ResolvedHits++
 		}
+		if plan[i].phantom {
+			out.PhantomRequests++
+		}
 		if observer != nil {
 			observer(ev)
 		}
-	}
-
-	// Interleave real and phantom requests across the window.
-	for _, j := range jobs {
-		for k := 0; k < j.count; k++ {
-			at := start.Add(time.Duration(n.rng.Int63n(int64(window))))
-			c := n.clients[n.rng.Intn(len(n.clients))]
-			emit(n.FetchDescriptor(c, j.permID, at))
-		}
-	}
-	for k := 0; k < phantomTotal; k++ {
-		at := start.Add(time.Duration(n.rng.Int63n(int64(window))))
-		c := n.clients[n.rng.Intn(len(n.clients))]
-		// Zipf-ish: low indexes requested far more often.
-		idx := int(float64(len(phantomIDs)) * math.Pow(n.rng.Float64(), 2.2))
-		if idx >= len(phantomIDs) {
-			idx = len(phantomIDs) - 1
-		}
-		emit(n.FetchRawID(c, phantomIDs[idx], at))
-		out.PhantomRequests++
 	}
 	return out
 }
