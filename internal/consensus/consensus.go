@@ -17,8 +17,11 @@ package consensus
 
 import (
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
+	"torhs/internal/hsdir"
 	"torhs/internal/onion"
 	"torhs/internal/relay"
 )
@@ -40,12 +43,13 @@ func (f Flag) Has(want Flag) bool { return f&want == want }
 
 // String renders the flags in consensus-document order.
 func (f Flag) String() string {
-	out := ""
+	var b strings.Builder
+	b.Grow(len("Fast Guard HSDir Running Stable"))
 	add := func(s string) {
-		if out != "" {
-			out += " "
+		if b.Len() > 0 {
+			b.WriteByte(' ')
 		}
-		out += s
+		b.WriteString(s)
 	}
 	if f.Has(FlagFast) {
 		add("Fast")
@@ -62,7 +66,7 @@ func (f Flag) String() string {
 	if f.Has(FlagStable) {
 		add("Stable")
 	}
-	return out
+	return b.String()
 }
 
 // Entry is one relay line in a consensus document.
@@ -80,41 +84,72 @@ type Entry struct {
 
 // Document is a published consensus: the authority's view of the network
 // at ValidAfter, entries sorted by fingerprint.
+//
+// A document is immutable once published (Entries never change after the
+// document enters a History), so the flag slices, the fingerprint lookup
+// table, and the HSDir ring are computed at most once, lazily, under a
+// sync.Once; every accessor below is safe for concurrent use and the
+// returned slices and ring alias the cache — callers must not mutate
+// them. Documents must not be copied by value after first use.
 type Document struct {
 	ValidAfter time.Time
 	Entries    []Entry
+
+	idxOnce sync.Once
+	idx     docIndex
+}
+
+// docIndex holds the lazily-built immutable per-document indexes.
+type docIndex struct {
+	hsdirs []onion.Fingerprint
+	guards []onion.Fingerprint
+	byFP   map[onion.Fingerprint]int32
+	ring   *hsdir.Ring
+	avgGap onion.RingInt
+}
+
+func (d *Document) index() *docIndex {
+	d.idxOnce.Do(func() {
+		ix := &d.idx
+		ix.byFP = make(map[onion.Fingerprint]int32, len(d.Entries))
+		for i, e := range d.Entries {
+			if _, dup := ix.byFP[e.Fingerprint]; !dup {
+				ix.byFP[e.Fingerprint] = int32(i)
+			}
+			if e.Flags.Has(FlagHSDir) {
+				ix.hsdirs = append(ix.hsdirs, e.Fingerprint)
+			}
+			if e.Flags.Has(FlagGuard) {
+				ix.guards = append(ix.guards, e.Fingerprint)
+			}
+		}
+		ix.ring = hsdir.NewRing(ix.hsdirs)
+		ix.avgGap = ix.ring.AverageGap()
+	})
+	return &d.idx
 }
 
 // HSDirs returns the fingerprints of all entries carrying the HSDir flag,
 // in ring (sorted) order. This is the input to responsible-directory
-// selection.
-func (d *Document) HSDirs() []onion.Fingerprint {
-	out := make([]onion.Fingerprint, 0, len(d.Entries))
-	for _, e := range d.Entries {
-		if e.Flags.Has(FlagHSDir) {
-			out = append(out, e.Fingerprint)
-		}
-	}
-	return out
-}
+// selection. The result is cached; callers must not mutate it.
+func (d *Document) HSDirs() []onion.Fingerprint { return d.index().hsdirs }
 
 // Guards returns the fingerprints of all entries carrying the Guard flag.
-func (d *Document) Guards() []onion.Fingerprint {
-	out := make([]onion.Fingerprint, 0, len(d.Entries))
-	for _, e := range d.Entries {
-		if e.Flags.Has(FlagGuard) {
-			out = append(out, e.Fingerprint)
-		}
-	}
-	return out
-}
+// The result is cached; callers must not mutate it.
+func (d *Document) Guards() []onion.Fingerprint { return d.index().guards }
 
-// Lookup returns the entry for fingerprint f, if present.
+// Ring returns the document's HSDir fingerprint ring, built once and
+// shared by every caller analysing this consensus.
+func (d *Document) Ring() *hsdir.Ring { return d.index().ring }
+
+// AverageGap returns the cached mean inter-fingerprint gap of the
+// document's HSDir ring.
+func (d *Document) AverageGap() onion.RingInt { return d.index().avgGap }
+
+// Lookup returns the entry for fingerprint f, if present. The cached
+// fingerprint table makes the lookup O(1) and allocation-free.
 func (d *Document) Lookup(f onion.Fingerprint) (Entry, bool) {
-	i := sort.Search(len(d.Entries), func(i int) bool {
-		return d.Entries[i].Fingerprint.Compare(f) >= 0
-	})
-	if i < len(d.Entries) && d.Entries[i].Fingerprint == f {
+	if i, ok := d.index().byFP[f]; ok {
 		return d.Entries[i], true
 	}
 	return Entry{}, false

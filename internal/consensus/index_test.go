@@ -1,0 +1,92 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"torhs/internal/onion"
+)
+
+// publishTestDoc builds a consensus over a mixed relay population.
+func publishTestDoc(t *testing.T, seed int64, n int) *Document {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	auth := NewAuthority(DefaultThresholds())
+	for i := 0; i < n; i++ {
+		r := newRelay(rng, int64(i), "10.1.0."+string(rune('1'+i%200)), 100+rng.Intn(400))
+		r.Start(at(-30 * 24))
+		auth.Register(r)
+	}
+	return auth.Publish(at(0))
+}
+
+// TestDocumentCachedIndexesMatchEntries checks that the cached flag
+// slices, ring, and lookup table agree with a direct scan of Entries.
+func TestDocumentCachedIndexesMatchEntries(t *testing.T) {
+	doc := publishTestDoc(t, 31, 120)
+
+	var wantHSDirs, wantGuards []onion.Fingerprint
+	for _, e := range doc.Entries {
+		if e.Flags.Has(FlagHSDir) {
+			wantHSDirs = append(wantHSDirs, e.Fingerprint)
+		}
+		if e.Flags.Has(FlagGuard) {
+			wantGuards = append(wantGuards, e.Fingerprint)
+		}
+	}
+	gotHSDirs := doc.HSDirs()
+	if len(gotHSDirs) != len(wantHSDirs) {
+		t.Fatalf("HSDirs len %d, want %d", len(gotHSDirs), len(wantHSDirs))
+	}
+	for i := range wantHSDirs {
+		if gotHSDirs[i] != wantHSDirs[i] {
+			t.Fatalf("HSDirs[%d] mismatch", i)
+		}
+	}
+	if got, want := len(doc.Guards()), len(wantGuards); got != want {
+		t.Fatalf("Guards len %d, want %d", got, want)
+	}
+
+	if got, want := doc.Ring().Len(), len(wantHSDirs); got != want {
+		t.Fatalf("Ring len %d, want %d", got, want)
+	}
+	if doc.AverageGap() != doc.Ring().AverageGap() {
+		t.Fatal("cached AverageGap differs from ring's")
+	}
+
+	// The accessors return the same cached objects every call.
+	if doc.Ring() != doc.Ring() {
+		t.Fatal("Ring() not cached")
+	}
+	if len(gotHSDirs) > 0 && &gotHSDirs[0] != &doc.HSDirs()[0] {
+		t.Fatal("HSDirs() not cached")
+	}
+
+	for _, e := range doc.Entries {
+		got, ok := doc.Lookup(e.Fingerprint)
+		if !ok || got.RelayID != e.RelayID {
+			t.Fatalf("Lookup(%x) = %+v, %v", e.Fingerprint, got, ok)
+		}
+	}
+	rng := rand.New(rand.NewSource(32))
+	if _, ok := doc.Lookup(onion.RandomFingerprint(rng)); ok {
+		t.Fatal("Lookup of absent fingerprint succeeded")
+	}
+}
+
+// TestDocumentLookupAllocsZero locks in the allocation-free lookup the
+// tracking sweep depends on (the index is built on first use, so warm it
+// before measuring).
+func TestDocumentLookupAllocsZero(t *testing.T) {
+	doc := publishTestDoc(t, 33, 100)
+	fp := doc.Entries[len(doc.Entries)/2].Fingerprint
+	doc.Lookup(fp) // build the index outside the measured runs
+	var (
+		e  Entry
+		ok bool
+	)
+	if avg := testing.AllocsPerRun(100, func() { e, ok = doc.Lookup(fp) }); avg != 0 {
+		t.Errorf("Lookup: %v allocs/op, want 0", avg)
+	}
+	_, _ = e, ok
+}

@@ -8,48 +8,170 @@
 package popularity
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 )
 
 // Index precomputes descriptor-ID → onion-address mappings over a date
-// window.
+// window. The mapping is stored as a dense entry array plus a compact
+// open-addressed probe table of int32 references, keyed by the IDs' own
+// leading bytes: descriptor IDs are SHA-1 outputs, already uniformly
+// distributed, so inserts and lookups need no hash function at all —
+// just a linear probe chain at ≤50% load over a table of 4-byte slots.
+// Entries reference their address by index into a shared slice, keeping
+// the (large) entry array pointer-free so the garbage collector never
+// scans it.
 type Index struct {
-	byID map[onion.DescriptorID]onion.Address
-	from time.Time
-	to   time.Time
+	slots   []int32 // 1-based indexes into entries; 0 = empty
+	mask    uint64
+	entries []idEntry
+	addrs   []onion.Address
+	from    time.Time
+	to      time.Time
+}
+
+// idEntry is one indexed mapping; addrIdx indexes Index.addrs.
+type idEntry struct {
+	id      onion.DescriptorID
+	addrIdx int32
+}
+
+// newIndexTable returns an empty table over the given address universe
+// with room for capacity entries at ≤50% load.
+func newIndexTable(capacity int, addrs []onion.Address) *Index {
+	size := 1 << bits.Len(uint(2*capacity))
+	if size < 16 {
+		size = 16
+	}
+	return &Index{
+		slots:   make([]int32, size),
+		mask:    uint64(size - 1),
+		entries: make([]idEntry, 0, capacity),
+		addrs:   addrs,
+	}
+}
+
+// insert adds or overwrites one mapping.
+func (ix *Index) insert(id onion.DescriptorID, addrIdx int32) {
+	if 2*(len(ix.entries)+1) > len(ix.slots) {
+		ix.grow()
+	}
+	slot := binary.BigEndian.Uint64(id[0:8]) & ix.mask
+	for {
+		ref := ix.slots[slot]
+		if ref == 0 {
+			ix.entries = append(ix.entries, idEntry{id: id, addrIdx: addrIdx})
+			ix.slots[slot] = int32(len(ix.entries))
+			return
+		}
+		if e := &ix.entries[ref-1]; e.id == id {
+			e.addrIdx = addrIdx
+			return
+		}
+		slot = (slot + 1) & ix.mask
+	}
+}
+
+// grow doubles the probe table and reindexes the entries.
+func (ix *Index) grow() {
+	ix.slots = make([]int32, 2*len(ix.slots))
+	ix.mask = uint64(len(ix.slots) - 1)
+	for i := range ix.entries {
+		slot := binary.BigEndian.Uint64(ix.entries[i].id[0:8]) & ix.mask
+		for ix.slots[slot] != 0 {
+			slot = (slot + 1) & ix.mask
+		}
+		ix.slots[slot] = int32(i + 1)
+	}
 }
 
 // BuildIndex derives, for every known service, all descriptor IDs valid
-// in [from, to] and indexes them.
+// in [from, to] and indexes them, using one worker per CPU.
 func BuildIndex(services map[onion.Address]onion.PermanentID, from, to time.Time) (*Index, error) {
+	return BuildIndexWorkers(services, from, to, 0)
+}
+
+// BuildIndexWorkers is BuildIndex with an explicit worker count (<= 0:
+// one per CPU). Construction shards the services across workers; the
+// secret-id-parts of the window are precomputed once and shared by every
+// service (they depend only on the time period and replica), and each
+// shard reuses one scratch buffer for the per-service ID derivations.
+// The resulting index is identical at every worker count.
+func BuildIndexWorkers(
+	services map[onion.Address]onion.PermanentID,
+	from, to time.Time,
+	workers int,
+) (*Index, error) {
 	if to.Before(from) {
 		return nil, fmt.Errorf("popularity: window end %v before start %v", to, from)
 	}
 	days := int(to.Sub(from)/(24*time.Hour)) + 1
-	ix := &Index{
-		byID: make(map[onion.DescriptorID]onion.Address, len(services)*days*onion.Replicas),
-		from: from,
-		to:   to,
+	perService := (days + 1) * onion.Replicas
+
+	// Deterministic shard layout: services sorted by address.
+	addrs := make([]onion.Address, 0, len(services))
+	for a := range services {
+		addrs = append(addrs, a)
 	}
-	for addr, permID := range services {
-		for _, id := range onion.DescriptorIDsOverRange(permID, from, to) {
-			ix.byID[id] = addr
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	table := onion.NewSecretIDTable(from, to)
+	shards := make([]*Index, parallel.NumChunks(workers, len(addrs)))
+	parallel.Chunks(workers, len(addrs), func(shard, lo, hi int) {
+		t := newIndexTable((hi-lo)*perService, addrs)
+		var buf []onion.DescriptorID
+		for i := lo; i < hi; i++ {
+			buf = table.DescriptorIDsInto(buf[:0], services[addrs[i]], from, to)
+			for _, id := range buf {
+				t.insert(id, int32(i))
+			}
+		}
+		shards[shard] = t
+	})
+
+	var ix *Index
+	switch len(shards) {
+	case 0:
+		ix = newIndexTable(0, addrs)
+	case 1:
+		ix = shards[0]
+	default:
+		ix = newIndexTable(len(addrs)*perService, addrs)
+		// Merge in shard order (and within a shard in insertion order) so
+		// any (cryptographically improbable) cross-service ID collision
+		// resolves deterministically.
+		for _, t := range shards {
+			for i := range t.entries {
+				ix.insert(t.entries[i].id, t.entries[i].addrIdx)
+			}
 		}
 	}
+	ix.from, ix.to = from, to
 	return ix, nil
 }
 
 // Len returns the number of indexed descriptor IDs.
-func (ix *Index) Len() int { return len(ix.byID) }
+func (ix *Index) Len() int { return len(ix.entries) }
 
 // Resolve maps one descriptor ID to its onion address.
 func (ix *Index) Resolve(id onion.DescriptorID) (onion.Address, bool) {
-	addr, ok := ix.byID[id]
-	return addr, ok
+	slot := binary.BigEndian.Uint64(id[0:8]) & ix.mask
+	for {
+		ref := ix.slots[slot]
+		if ref == 0 {
+			return "", false
+		}
+		if e := &ix.entries[ref-1]; e.id == id {
+			return ix.addrs[e.addrIdx], true
+		}
+		slot = (slot + 1) & ix.mask
+	}
 }
 
 // Resolution summarises resolving a request log against an index.
@@ -95,12 +217,14 @@ func ResolveBruteForce(
 	from, to time.Time,
 ) *Resolution {
 	res := &Resolution{PerAddress: make(map[onion.Address]int)}
+	var buf []onion.DescriptorID
 	for id, n := range counts {
 		res.TotalRequests += n
 		res.UniqueIDs++
 		resolved := false
 		for addr, permID := range services {
-			for _, candidate := range onion.DescriptorIDsOverRange(permID, from, to) {
+			buf = onion.DescriptorIDsOverRangeInto(buf[:0], permID, from, to)
+			for _, candidate := range buf {
 				if candidate == id {
 					res.ResolvedIDs++
 					res.ResolvedRequests += n

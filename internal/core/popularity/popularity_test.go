@@ -52,6 +52,85 @@ func TestBuildIndexCoversWindow(t *testing.T) {
 	}
 }
 
+// TestBuildIndexWorkersIdenticalAcrossCounts checks the hard invariant of
+// the sharded build: every worker count produces the same index, entry
+// for entry.
+func TestBuildIndexWorkersIdenticalAcrossCounts(t *testing.T) {
+	from, to := window()
+	services := makeServices(30, 2)
+	base, err := BuildIndexWorkers(services, from, to, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 0} {
+		ix, err := BuildIndexWorkers(services, from, to, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != base.Len() {
+			t.Fatalf("workers=%d: len %d, want %d", workers, ix.Len(), base.Len())
+		}
+		for i := range base.entries {
+			want := base.addrs[base.entries[i].addrIdx]
+			addr, ok := ix.Resolve(base.entries[i].id)
+			if !ok || addr != want {
+				t.Fatalf("workers=%d: entry %d resolves to %q, %v; want %q",
+					workers, i, addr, ok, want)
+			}
+		}
+	}
+}
+
+// TestBuildIndexEmptyServices covers the zero-shard path.
+func TestBuildIndexEmptyServices(t *testing.T) {
+	from, to := window()
+	ix, err := BuildIndex(nil, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("empty index len = %d", ix.Len())
+	}
+	var id onion.DescriptorID
+	if _, ok := ix.Resolve(id); ok {
+		t.Fatal("empty index resolved an ID")
+	}
+}
+
+// TestIndexTableGrow forces the probe table through growth and checks
+// every mapping survives.
+func TestIndexTableGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var ids []onion.DescriptorID
+	var addrs []onion.Address
+	for i := 0; i < 500; i++ {
+		f := onion.RandomFingerprint(rng)
+		k := onion.GenerateKey(rng)
+		ids = append(ids, onion.DescriptorID(f))
+		addrs = append(addrs, onion.AddressFromKey(k))
+	}
+	ix := newIndexTable(0, addrs) // starts at minimum size, must grow repeatedly
+	for i := range ids {
+		ix.insert(ids[i], int32(i))
+	}
+	if ix.Len() != len(ids) {
+		t.Fatalf("len = %d, want %d", ix.Len(), len(ids))
+	}
+	for i := range ids {
+		if got, ok := ix.Resolve(ids[i]); !ok || got != addrs[i] {
+			t.Fatalf("Resolve(%x) = %q, %v; want %q", ids[i], got, ok, addrs[i])
+		}
+	}
+	// Overwrite keeps the table size and updates the value.
+	ix.insert(ids[0], 1)
+	if ix.Len() != len(ids) {
+		t.Fatalf("overwrite changed len to %d", ix.Len())
+	}
+	if got, _ := ix.Resolve(ids[0]); got != addrs[1] {
+		t.Fatalf("overwrite not visible: %q", got)
+	}
+}
+
 func TestResolveRoundTrip(t *testing.T) {
 	from, to := window()
 	services := makeServices(50, 2)

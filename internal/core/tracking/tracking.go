@@ -16,12 +16,12 @@ package tracking
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
 
 	"torhs/internal/consensus"
-	"torhs/internal/hsdir"
 	"torhs/internal/onion"
 	"torhs/internal/relay"
 	"torhs/internal/stats"
@@ -153,15 +153,147 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	return &Analyzer{cfg: cfg}, nil
 }
 
-// relayState accumulates per-relay evidence during the sweep.
+// relayState accumulates per-relay evidence during the sweep. The layout
+// is tuned for the common honest relay — one fingerprint, one nickname,
+// one IP — which needs no per-relay heap allocations at all: firsts are
+// stored inline, overflow slices stay nil, and responsibility statistics
+// (distinct days, longest consecutive run) are tracked online because
+// documents arrive in ValidAfter order.
 type relayState struct {
-	report    RelayReport
-	lastFP    onion.Fingerprint
-	seenFP    map[onion.Fingerprint]bool
-	nickSet   map[string]bool
-	ipSet     map[string]bool
-	switchAts []time.Time
-	respDays  map[int64]bool // unix day -> responsible
+	report RelayReport
+
+	seen   bool
+	lastFP onion.Fingerprint
+	// fps is allocated on the first fingerprint switch and seeded with
+	// the pre-switch fingerprint; while nil the distinct set is {lastFP}.
+	fps        []onion.Fingerprint
+	nick0, ip0 string
+	extraNicks []string
+	extraIPs   []string
+	switchAts  []time.Time
+
+	lastRespDay    int64 // unix day of the latest responsibility, noRespDay if none
+	curRun, maxRun int   // consecutive responsible days
+	respCount      int   // distinct responsible days
+
+	occCount, occOff, occFilled int // global occurrence-list bookkeeping
+}
+
+// stateTable maps relay IDs to their accumulating state. Simulation IDs
+// are small and dense, so the common path is a direct slice index (a map
+// keeps sparse or negative IDs working); states are arena-allocated in
+// fixed blocks so a sweep over thousands of relay identities costs a
+// handful of heap allocations rather than one per relay.
+type stateTable struct {
+	dense  []*relayState
+	sparse map[relay.ID]*relayState
+	arena  []relayState
+	used   int
+	all    []*relayState // creation order
+}
+
+// denseIDLimit bounds the ID range backed by the dense slice.
+const denseIDLimit = 1 << 20
+
+// noRespDay is the never-responsible sentinel for lastRespDay; math.MinInt64
+// cannot collide with any real unix day (including negative pre-epoch ones).
+const noRespDay = math.MinInt64
+
+func (t *stateTable) get(id relay.ID) *relayState {
+	if id >= 0 && id < denseIDLimit {
+		if int(id) < len(t.dense) {
+			if st := t.dense[id]; st != nil {
+				return st
+			}
+		} else {
+			size := 2 * len(t.dense)
+			if size < 1024 {
+				size = 1024
+			}
+			for size <= int(id) {
+				size *= 2
+			}
+			grown := make([]*relayState, size)
+			copy(grown, t.dense)
+			t.dense = grown
+		}
+		st := t.alloc(id)
+		t.dense[id] = st
+		return st
+	}
+	if st := t.sparse[id]; st != nil {
+		return st
+	}
+	if t.sparse == nil {
+		t.sparse = make(map[relay.ID]*relayState)
+	}
+	st := t.alloc(id)
+	t.sparse[id] = st
+	return st
+}
+
+func (t *stateTable) alloc(id relay.ID) *relayState {
+	const block = 256
+	if t.used == len(t.arena) {
+		t.arena = make([]relayState, block) // previous block stays alive via dense/sparse/all
+		t.used = 0
+	}
+	st := &t.arena[t.used]
+	t.used++
+	st.report.RelayID = id
+	st.lastRespDay = noRespDay
+	t.all = append(t.all, st)
+	return st
+}
+
+// markResponsible folds one responsibility observation into the online
+// day statistics. Days arrive in nondecreasing order (documents are
+// swept in ValidAfter order), so distinct-day and consecutive-run counts
+// need no per-relay day set.
+func (st *relayState) markResponsible(day int64) {
+	if day == st.lastRespDay {
+		return
+	}
+	if day == st.lastRespDay+1 {
+		st.curRun++
+	} else {
+		st.curRun = 1
+	}
+	if st.curRun > st.maxRun {
+		st.maxRun = st.curRun
+	}
+	st.lastRespDay = day
+	st.respCount++
+}
+
+// appendFPAbsent appends fp unless already present (the slice stays tiny:
+// one entry per distinct fingerprint a single relay identity ever used).
+func appendFPAbsent(s []onion.Fingerprint, fp onion.Fingerprint) []onion.Fingerprint {
+	for _, have := range s {
+		if have == fp {
+			return s
+		}
+	}
+	return append(s, fp)
+}
+
+func appendStrAbsent(s []string, v string) []string {
+	for _, have := range s {
+		if have == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// sortedWithFirst merges the inline first value with the overflow set and
+// sorts, reproducing the sorted-distinct-set semantics of the reports.
+func sortedWithFirst(first string, extra []string) []string {
+	out := make([]string, 0, 1+len(extra))
+	out = append(out, first)
+	out = append(out, extra...)
+	sort.Strings(out)
+	return out
 }
 
 // Analyze sweeps the history window [from, to] and scores every relay
@@ -172,23 +304,18 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
 	}
 
-	states := make(map[relay.ID]*relayState)
+	var states stateTable
 	totalHSDirs := 0
 
-	getState := func(id relay.ID) *relayState {
-		st := states[id]
-		if st == nil {
-			st = &relayState{
-				seenFP:   map[onion.Fingerprint]bool{},
-				nickSet:  map[string]bool{},
-				ipSet:    map[string]bool{},
-				respDays: map[int64]bool{},
-			}
-			st.report.RelayID = id
-			states[id] = st
-		}
-		return st
-	}
+	// Occurrences accumulate in one chronological global list (plus the
+	// owning state per entry) and are carved into per-relay slices at
+	// wrap-up, so the sweep never grows hundreds of tiny slices.
+	var occs []Occurrence
+	var occStates []*relayState
+
+	// Scratch buffer reused across every (document, replica) pair: the
+	// responsible set is consumed before the next ResponsibleInto call.
+	respBuf := make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
 
 	for _, doc := range docs {
 		hsdirFPs := doc.HSDirs()
@@ -196,40 +323,62 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 			continue
 		}
 		totalHSDirs += len(hsdirFPs)
-		ring := hsdir.NewRing(hsdirFPs)
-		avgGap := ring.AverageGap()
+		// The ring and average gap are cached on the document: repeated
+		// analyses (and other pipelines) share one sorted ring per
+		// consensus instead of rebuilding it per sweep.
+		ring := doc.Ring()
+		avgGap := doc.AverageGap()
 
 		// Track fingerprint switches for every relay identity, whether
 		// or not it was ever responsible: a tracker mines its key days
 		// *before* the responsibility shows up.
-		for _, e := range doc.Entries {
-			st := getState(e.RelayID)
-			if st.lastFP != (onion.Fingerprint{}) && st.lastFP != e.Fingerprint {
+		for i := range doc.Entries {
+			e := &doc.Entries[i]
+			st := states.get(e.RelayID)
+			if !st.seen {
+				st.seen = true
+				st.lastFP = e.Fingerprint
+				st.nick0 = e.Nickname
+				st.ip0 = e.IP
+				continue
+			}
+			if e.Fingerprint != st.lastFP {
+				if st.fps == nil {
+					st.fps = append(make([]onion.Fingerprint, 0, 4), st.lastFP)
+				}
+				st.fps = appendFPAbsent(st.fps, e.Fingerprint)
 				st.report.Switches++
 				st.switchAts = append(st.switchAts, doc.ValidAfter)
+				st.lastFP = e.Fingerprint
 			}
-			st.lastFP = e.Fingerprint
-			st.seenFP[e.Fingerprint] = true
-			st.nickSet[e.Nickname] = true
-			st.ipSet[e.IP] = true
+			if e.Nickname != st.nick0 {
+				st.extraNicks = appendStrAbsent(st.extraNicks, e.Nickname)
+			}
+			if e.IP != st.ip0 {
+				st.extraIPs = appendStrAbsent(st.extraIPs, e.IP)
+			}
 		}
 
+		day := doc.ValidAfter.Unix() / 86400
 		ids := onion.DescriptorIDs(target, doc.ValidAfter)
 		for replica, descID := range ids {
-			for _, fp := range ring.Responsible(descID, onion.SpreadPerReplica) {
+			respBuf = ring.ResponsibleInto(respBuf[:0], descID, onion.SpreadPerReplica)
+			for _, fp := range respBuf {
 				entry, ok := doc.Lookup(fp)
 				if !ok {
 					continue
 				}
-				st := getState(entry.RelayID)
+				st := states.get(entry.RelayID)
 				ratio := onion.RingRatio(avgGap, onion.Distance(descID, fp))
-				st.report.Occurrences = append(st.report.Occurrences, Occurrence{
+				occs = append(occs, Occurrence{
 					At:          doc.ValidAfter,
 					Fingerprint: fp,
 					Replica:     replica,
 					Ratio:       ratio,
 					Uptime:      entry.Uptime,
 				})
+				occStates = append(occStates, st)
+				st.occCount++
 				if ratio > st.report.MaxRatio {
 					st.report.MaxRatio = ratio
 				}
@@ -237,7 +386,7 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 					entry.Uptime < a.cfg.HSDirUptime+a.cfg.FreshFlagWindow {
 					st.report.FreshFlagResponsible++
 				}
-				st.respDays[doc.ValidAfter.Unix()/86400] = true
+				st.markResponsible(day)
 			}
 		}
 	}
@@ -257,17 +406,35 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 		MeanHSDirs: meanHSDirs,
 	}
 
-	for _, st := range states {
-		if len(st.report.Occurrences) == 0 {
+	// Carve the per-relay occurrence slices out of one backing array, in
+	// chronological order (the global list already is).
+	backing := make([]Occurrence, len(occs))
+	cum := 0
+	for _, st := range states.all {
+		st.occOff = cum
+		cum += st.occCount
+	}
+	for i, st := range occStates {
+		backing[st.occOff+st.occFilled] = occs[i]
+		st.occFilled++
+	}
+
+	for _, st := range states.all {
+		if st.occCount == 0 {
 			continue
 		}
 		r := &st.report
-		r.Nicknames = sortedKeys(st.nickSet)
-		r.IPs = sortedKeys(st.ipSet)
-		r.Fingerprints = len(st.seenFP)
-		r.TimesResponsible = len(st.respDays)
+		r.Occurrences = backing[st.occOff : st.occOff+st.occCount]
+		r.Nicknames = sortedWithFirst(st.nick0, st.extraNicks)
+		r.IPs = sortedWithFirst(st.ip0, st.extraIPs)
+		if st.fps != nil {
+			r.Fingerprints = len(st.fps)
+		} else if st.seen {
+			r.Fingerprints = 1
+		}
+		r.TimesResponsible = st.respCount
 		r.Threshold = threshold
-		r.MaxConsecutive = maxConsecutiveDays(st.respDays)
+		r.MaxConsecutive = st.maxRun
 		r.SwitchesIntoPosition = countSwitchesIntoPosition(st.switchAts, r.Occurrences, a.cfg.SwitchLead)
 
 		a.judge(r)
@@ -330,38 +497,6 @@ func (a *Analyzer) judge(r *RelayReport) {
 	strong := r.MaxRatio > a.cfg.RatioSuspicious || r.SwitchesIntoPosition > 0
 	repeated := len(r.Reasons) >= 2
 	r.Suspicious = (strong || repeated) && len(r.Reasons) > 0
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func maxConsecutiveDays(days map[int64]bool) int {
-	if len(days) == 0 {
-		return 0
-	}
-	keys := make([]int64, 0, len(days))
-	for d := range days {
-		keys = append(keys, d)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	best, run := 1, 1
-	for i := 1; i < len(keys); i++ {
-		if keys[i] == keys[i-1]+1 {
-			run++
-			if run > best {
-				best = run
-			}
-		} else {
-			run = 1
-		}
-	}
-	return best
 }
 
 func countSwitchesIntoPosition(switches []time.Time, occs []Occurrence, lead time.Duration) int {

@@ -234,13 +234,21 @@ func TestReportBasicAccounting(t *testing.T) {
 	}
 }
 
-func TestMaxConsecutiveDays(t *testing.T) {
-	days := map[int64]bool{10: true, 11: true, 12: true, 20: true, 21: true}
-	if got := maxConsecutiveDays(days); got != 3 {
-		t.Fatalf("max consecutive = %d, want 3", got)
+func TestMarkResponsibleRuns(t *testing.T) {
+	st := &relayState{lastRespDay: noRespDay}
+	// -1 first: pre-epoch days must not collide with the sentinel.
+	for _, day := range []int64{-1, 10, 10, 11, 12, 20, 21} {
+		st.markResponsible(day)
 	}
-	if got := maxConsecutiveDays(nil); got != 0 {
-		t.Fatalf("max consecutive empty = %d, want 0", got)
+	if st.maxRun != 3 {
+		t.Fatalf("max consecutive = %d, want 3", st.maxRun)
+	}
+	if st.respCount != 6 {
+		t.Fatalf("distinct days = %d, want 6", st.respCount)
+	}
+	empty := &relayState{lastRespDay: noRespDay}
+	if empty.maxRun != 0 {
+		t.Fatalf("max consecutive empty = %d, want 0", empty.maxRun)
 	}
 }
 

@@ -285,7 +285,8 @@ func (s *Study) RunPopularity() (*PopularityResult, error) {
 	for addr, id := range harvest.PermIDs {
 		services[addr] = id
 	}
-	ix, err := popularity.BuildIndex(services, start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour))
+	ix, err := popularity.BuildIndexWorkers(services,
+		start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour), s.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

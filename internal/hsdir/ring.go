@@ -51,16 +51,36 @@ func (r *Ring) Responsible(d onion.DescriptorID, spread int) []onion.Fingerprint
 	if spread > len(r.fps) {
 		spread = len(r.fps)
 	}
-	var dAsFP onion.Fingerprint
-	copy(dAsFP[:], d[:])
-	start := sort.Search(len(r.fps), func(i int) bool {
-		return dAsFP.Less(r.fps[i])
-	})
-	out := make([]onion.Fingerprint, 0, spread)
-	for i := 0; i < spread; i++ {
-		out = append(out, r.fps[(start+i)%len(r.fps)])
+	return r.ResponsibleInto(make([]onion.Fingerprint, 0, spread), d, spread)
+}
+
+// ResponsibleInto appends the spread fingerprints following d to dst and
+// returns it, so per-consensus sweeps can reuse one scratch buffer across
+// calls (pass dst[:0]); with sufficient capacity the call performs zero
+// heap allocations.
+func (r *Ring) ResponsibleInto(dst []onion.Fingerprint, d onion.DescriptorID, spread int) []onion.Fingerprint {
+	if len(r.fps) == 0 {
+		return dst
 	}
-	return out
+	if spread > len(r.fps) {
+		spread = len(r.fps)
+	}
+	// Hand-rolled binary search for the first fingerprint > d: a closure
+	// passed to sort.Search would defeat the zero-allocation guarantee.
+	dAsFP := onion.Fingerprint(d)
+	lo, hi := 0, len(r.fps)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if dAsFP.Less(r.fps[m]) {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	for i := 0; i < spread; i++ {
+		dst = append(dst, r.fps[(lo+i)%len(r.fps)])
+	}
+	return dst
 }
 
 // ResponsibleLinear is the O(n) scan variant of Responsible, kept as the
@@ -105,7 +125,7 @@ func (r *Ring) ResponsibleForServiceAt(id onion.PermanentID, t time.Time) []onio
 // fingerprints on the ring as a RingInt (2^160 / n for a perfectly uniform
 // ring). Tracking detection compares observed descriptor-to-fingerprint
 // distances against this average.
-func (r *Ring) AverageGap() *onion.RingInt {
+func (r *Ring) AverageGap() onion.RingInt {
 	if len(r.fps) < 2 {
 		return onion.MaxRingAvgGap(0)
 	}

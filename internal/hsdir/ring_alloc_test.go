@@ -1,0 +1,62 @@
+package hsdir
+
+import (
+	"math/rand"
+	"testing"
+
+	"torhs/internal/onion"
+)
+
+// TestResponsibleIntoMatchesResponsible checks the append-into variant
+// against the allocating one across random descriptor IDs, including
+// buffer reuse across calls.
+func TestResponsibleIntoMatchesResponsible(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	fps := make([]onion.Fingerprint, 200)
+	for i := range fps {
+		fps[i] = onion.RandomFingerprint(rng)
+	}
+	ring := NewRing(fps)
+	buf := make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
+	for i := 0; i < 200; i++ {
+		var d onion.DescriptorID
+		f := onion.RandomFingerprint(rng)
+		copy(d[:], f[:])
+		want := ring.Responsible(d, onion.SpreadPerReplica)
+		buf = ring.ResponsibleInto(buf[:0], d, onion.SpreadPerReplica)
+		if len(buf) != len(want) {
+			t.Fatalf("len %d, want %d", len(buf), len(want))
+		}
+		for j := range want {
+			if buf[j] != want[j] {
+				t.Fatalf("fingerprint %d: %x want %x", j, buf[j], want[j])
+			}
+		}
+	}
+	// Empty ring appends nothing.
+	empty := NewRing(nil)
+	var d onion.DescriptorID
+	if got := empty.ResponsibleInto(buf[:0], d, 3); len(got) != 0 {
+		t.Fatalf("empty ring appended %d fingerprints", len(got))
+	}
+}
+
+// TestResponsibleIntoAllocsZero locks in the zero-allocation guarantee
+// when the scratch buffer has capacity.
+func TestResponsibleIntoAllocsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	fps := make([]onion.Fingerprint, 1400)
+	for i := range fps {
+		fps[i] = onion.RandomFingerprint(rng)
+	}
+	ring := NewRing(fps)
+	var d onion.DescriptorID
+	f := onion.RandomFingerprint(rng)
+	copy(d[:], f[:])
+	buf := make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = ring.ResponsibleInto(buf[:0], d, onion.SpreadPerReplica)
+	}); avg != 0 {
+		t.Errorf("ResponsibleInto: %v allocs/op, want 0", avg)
+	}
+}

@@ -149,11 +149,13 @@ func VanityPermanentID(prefix string, rng *rand.Rand) (PermanentID, error) {
 	if len(prefix) >= AddressLen {
 		return PermanentID{}, fmt.Errorf("onion: vanity prefix %q too long", prefix)
 	}
-	full := prefix
-	for len(full) < AddressLen {
-		full += string(alphabet[rng.Intn(len(alphabet))])
+	var full strings.Builder
+	full.Grow(AddressLen)
+	full.WriteString(prefix)
+	for full.Len() < AddressLen {
+		full.WriteByte(alphabet[rng.Intn(len(alphabet))])
 	}
-	_, id, err := ParseAddress(full)
+	_, id, err := ParseAddress(full.String())
 	if err != nil {
 		return PermanentID{}, fmt.Errorf("onion: vanity prefix %q: %w", prefix, err)
 	}
@@ -173,12 +175,31 @@ func (d DescriptorID) Hex() string { return hex.EncodeToString(d[:]) }
 // Less reports whether d sorts before other when descriptor IDs and
 // fingerprints are compared as big-endian integers.
 func (d DescriptorID) Less(other DescriptorID) bool {
-	for i := range d {
-		if d[i] != other[i] {
-			return d[i] < other[i]
+	return compare160(d, other) < 0
+}
+
+// compare160 compares two 20-byte big-endian values word-wise: three
+// 8/8/4-byte big-endian loads instead of a byte-at-a-time loop.
+func compare160(a, b [sha1.Size]byte) int {
+	if x, y := binary.BigEndian.Uint64(a[0:8]), binary.BigEndian.Uint64(b[0:8]); x != y {
+		if x < y {
+			return -1
 		}
+		return 1
 	}
-	return false
+	if x, y := binary.BigEndian.Uint64(a[8:16]), binary.BigEndian.Uint64(b[8:16]); x != y {
+		if x < y {
+			return -1
+		}
+		return 1
+	}
+	if x, y := binary.BigEndian.Uint32(a[16:20]), binary.BigEndian.Uint32(b[16:20]); x != y {
+		if x < y {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // TimePeriod computes the rend-spec-v2 time-period number for a service at
@@ -198,17 +219,28 @@ func ComputeDescriptorID(id PermanentID, t time.Time, replica uint8) DescriptorI
 }
 
 func descriptorIDForPeriod(id PermanentID, period uint32, replica uint8) DescriptorID {
+	secret := secretIDPart(period, replica)
+	return descriptorIDFromParts(id, &secret)
+}
+
+// secretIDPart computes SHA1(time-period | replica). It depends only on
+// the period and replica — never on the service — so callers deriving IDs
+// for many services over one window can share it (see SecretIDTable).
+func secretIDPart(period uint32, replica uint8) [sha1.Size]byte {
 	var buf [5]byte
 	binary.BigEndian.PutUint32(buf[:4], period)
 	buf[4] = replica
-	secret := sha1.Sum(buf[:])
+	return sha1.Sum(buf[:])
+}
 
-	h := sha1.New()
-	h.Write(id[:])
-	h.Write(secret[:])
-	var out DescriptorID
-	copy(out[:], h.Sum(nil))
-	return out
+// descriptorIDFromParts computes SHA1(permanent-id | secret-id-part)
+// over a stack buffer, so one descriptor-ID derivation performs exactly
+// one SHA-1 and zero heap allocations.
+func descriptorIDFromParts(id PermanentID, secret *[sha1.Size]byte) DescriptorID {
+	var msg [PermanentIDLen + sha1.Size]byte
+	copy(msg[:PermanentIDLen], id[:])
+	copy(msg[PermanentIDLen:], secret[:])
+	return DescriptorID(sha1.Sum(msg[:]))
 }
 
 // DescriptorIDs returns the descriptor IDs of all replicas of a service in
@@ -232,15 +264,87 @@ func DescriptorIDsOverRange(id PermanentID, from, to time.Time) []DescriptorID {
 	if to.Before(from) {
 		from, to = to, from
 	}
+	n := int(TimePeriod(id, to)-TimePeriod(id, from)+1) * Replicas
+	return DescriptorIDsOverRangeInto(make([]DescriptorID, 0, n), id, from, to)
+}
+
+// DescriptorIDsOverRangeInto is DescriptorIDsOverRange appending into
+// dst, so sweeps over many services can reuse one scratch buffer instead
+// of allocating a fresh slice per service. Pass dst[:0] to reuse; the
+// appended-to slice is returned.
+func DescriptorIDsOverRangeInto(dst []DescriptorID, id PermanentID, from, to time.Time) []DescriptorID {
+	if to.Before(from) {
+		from, to = to, from
+	}
 	first := TimePeriod(id, from)
 	last := TimePeriod(id, to)
-	out := make([]DescriptorID, 0, int(last-first+1)*Replicas)
 	for p := first; p <= last; p++ {
 		for r := 0; r < Replicas; r++ {
-			out = append(out, descriptorIDForPeriod(id, p, uint8(r)))
+			dst = append(dst, descriptorIDForPeriod(id, p, uint8(r)))
 		}
 	}
-	return out
+	return dst
+}
+
+// SecretIDTable precomputes the rend-spec secret-id-parts for every
+// (time-period, replica) pair intersecting a date window. The secret part
+// depends only on the period and replica — not on the service — so one
+// table serves every service when deriving descriptor IDs over a shared
+// window, halving the SHA-1 work of popularity-index construction.
+type SecretIDTable struct {
+	first   uint32
+	secrets [][Replicas][sha1.Size]byte
+}
+
+// NewSecretIDTable builds the table for [from, to]. The per-service
+// rollover offset is under one day, so every service's periods in the
+// window lie in [from's base period, to's base period + 1].
+func NewSecretIDTable(from, to time.Time) *SecretIDTable {
+	if to.Before(from) {
+		from, to = to, from
+	}
+	first := uint32(uint64(from.Unix()) / 86400)
+	last := uint32(uint64(to.Unix())/86400) + 1
+	t := &SecretIDTable{
+		first:   first,
+		secrets: make([][Replicas][sha1.Size]byte, last-first+1),
+	}
+	for p := first; p <= last; p++ {
+		for r := 0; r < Replicas; r++ {
+			t.secrets[p-first][r] = secretIDPart(p, uint8(r))
+		}
+	}
+	return t
+}
+
+// DescriptorIDsInto appends the descriptor IDs of service id for every
+// time period intersecting [from, to] to dst, reusing the table's
+// precomputed secret parts (periods outside the table fall back to
+// direct derivation). The output is identical to
+// DescriptorIDsOverRangeInto.
+func (t *SecretIDTable) DescriptorIDsInto(dst []DescriptorID, id PermanentID, from, to time.Time) []DescriptorID {
+	if to.Before(from) {
+		from, to = to, from
+	}
+	first := TimePeriod(id, from)
+	last := TimePeriod(id, to)
+	// The permanent-id prefix of the hashed message is loop-invariant.
+	var msg [PermanentIDLen + sha1.Size]byte
+	copy(msg[:PermanentIDLen], id[:])
+	for p := first; p <= last; p++ {
+		if p < t.first || int(p-t.first) >= len(t.secrets) {
+			for r := 0; r < Replicas; r++ {
+				dst = append(dst, descriptorIDForPeriod(id, p, uint8(r)))
+			}
+			continue
+		}
+		secrets := &t.secrets[p-t.first]
+		for r := 0; r < Replicas; r++ {
+			copy(msg[PermanentIDLen:], secrets[r][:])
+			dst = append(dst, DescriptorID(sha1.Sum(msg[:])))
+		}
+	}
+	return dst
 }
 
 // Fingerprint is a relay identity fingerprint: the SHA-1 digest of the
@@ -269,36 +373,21 @@ func (f Fingerprint) Hex() string {
 
 // Less reports whether f sorts before other as big-endian integers.
 func (f Fingerprint) Less(other Fingerprint) bool {
-	for i := range f {
-		if f[i] != other[i] {
-			return f[i] < other[i]
-		}
-	}
-	return false
+	return compare160(f, other) < 0
 }
 
 // Compare returns -1, 0, or 1 comparing f with other as big-endian
 // integers.
 func (f Fingerprint) Compare(other Fingerprint) int {
-	for i := range f {
-		switch {
-		case f[i] < other[i]:
-			return -1
-		case f[i] > other[i]:
-			return 1
-		}
-	}
-	return 0
+	return compare160(f, other)
 }
 
 // Distance returns the forward ring distance from id to f interpreted as
 // 160-bit big-endian integers, i.e. (f - id) mod 2^160. Tracking detection
 // uses this to quantify how suspiciously close a relay positioned its
 // fingerprint to a target descriptor ID.
-func Distance(id DescriptorID, f Fingerprint) *RingInt {
-	a := ringIntFromBytes(f[:])
-	b := ringIntFromBytes(id[:])
-	return a.SubMod(b)
+func Distance(id DescriptorID, f Fingerprint) RingInt {
+	return RingIntFromFingerprint(f).SubMod(RingIntFromDescriptorID(id))
 }
 
 // Descriptor is a v2 hidden-service descriptor: the public blob a service

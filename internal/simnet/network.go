@@ -93,8 +93,10 @@ func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, erro
 		return nil, fmt.Errorf("simnet: directory failure probability %v out of [0,1)", cfg.DirFailureProb)
 	}
 	n := &Network{
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		ring:       hsdir.NewRing(hsdirs),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		// The ring is cached on the document: every network (and analysis)
+		// over the same consensus shares one sorted ring.
+		ring:       doc.Ring(),
 		dirs:       make(map[onion.Fingerprint]*hsdir.Directory, len(hsdirs)),
 		guards:     guards,
 		geoDB:      db,
@@ -143,7 +145,9 @@ func (n *Network) Directory(fp onion.Fingerprint) (*hsdir.Directory, bool) {
 // Directories returns all descriptor stores keyed by fingerprint.
 func (n *Network) Directories() map[onion.Fingerprint]*hsdir.Directory { return n.dirs }
 
-// GuardPool returns the Guard-flagged fingerprints.
+// GuardPool returns the Guard-flagged fingerprints. The slice aliases the
+// consensus document's shared cache; callers must not mutate it (copy
+// first, as the deanon pipelines do).
 func (n *Network) GuardPool() []onion.Fingerprint { return n.guards }
 
 // Clients returns the client population.
