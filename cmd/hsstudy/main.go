@@ -1,114 +1,139 @@
-// Command hsstudy runs the full measurement study end-to-end: it
-// generates a calibrated synthetic hidden-service landscape and
-// regenerates every table and figure of the paper (Fig. 1, certificate
-// audit, Table I, language mix, Fig. 2, Table II, Fig. 3, Section VII
-// tracking detection).
+// Command hsstudy runs the measurement study end-to-end: it generates a
+// calibrated synthetic hidden-service landscape for a scenario preset
+// and regenerates the paper's tables and figures through the experiment
+// registry. Every experiment resolves by name; dependencies (the content
+// crawl feeds on the scan) run automatically and shared substrates build
+// once.
 //
 // Usage:
 //
-//	hsstudy [-seed N] [-scale F] [-clients N] [-experiment NAME]
+//	hsstudy -list
+//	hsstudy [-scenario NAME] [-seed N] [-experiment NAME[,NAME...]] [overrides]
 //
-// Experiments: all (default), scan, content, popularity, deanon,
-// tracking.
+// The two lists below are rendered from the registry and the scenario
+// presets; TestDocCommentMatchesRegistry fails if they drift.
+//
+// Experiments: collection, scan, content, prefix-audit, popularity,
+// deanon, service-deanon, tracking.
+//
+// Scenarios: laptop, smoke, paper-scale, stress, botnet-heavy.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"torhs/internal/experiments"
+	"torhs/internal/scenario"
 )
 
+// errUsage marks a flag-parse failure the FlagSet already reported.
+var errUsage = errors.New("usage")
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "hsstudy:", err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "hsstudy:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	reg := experiments.Paper()
+	fs := flag.NewFlagSet("hsstudy", flag.ContinueOnError)
 	var (
-		seed       = flag.Int64("seed", 42, "random seed for the whole study")
-		scale      = flag.Float64("scale", 0.05, "population scale (1.0 = the paper's 39,824 services)")
-		clients    = flag.Int("clients", 1500, "simulated client population")
-		trawlIPs   = flag.Int("trawl-ips", 30, "trawling fleet IP addresses")
-		trawlSteps = flag.Int("trawl-steps", 8, "trawling rotation steps")
-		relays     = flag.Int("relays", 350, "honest relay network size")
-		workers    = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = one per CPU; stages can overlap, so peak concurrency may exceed this); output is identical at every value")
-		experiment = flag.String("experiment", "all", "experiment to run: all|collection|scan|content|popularity|deanon|service-deanon|tracking")
-	)
-	flag.Parse()
+		list     = fs.Bool("list", false, "list registered experiments and scenario presets, then exit")
+		preset   = fs.String("scenario", scenario.Laptop, "scenario preset: "+strings.Join(scenario.Names(), "|"))
+		seed     = fs.Int64("seed", 42, "random seed for the whole study")
+		workers  = fs.Int("workers", 0, "worker goroutines per parallel stage (0 = one per CPU; stages can overlap, so peak concurrency may exceed this); output is identical at every value")
+		selector = fs.String("experiment", "all", "comma-separated experiments to run (all = every one): "+strings.Join(reg.Names(), "|"))
 
-	cfg := experiments.Config{
-		Seed:       *seed,
-		Scale:      *scale,
-		Clients:    *clients,
-		TrawlIPs:   *trawlIPs,
-		TrawlSteps: *trawlSteps,
-		Relays:     *relays,
-		Workers:    *workers,
+		// Overrides: applied on top of the scenario preset only when set
+		// explicitly on the command line.
+		scale      = fs.Float64("scale", 0, "override preset: population scale (1.0 = the paper's 39,824 services)")
+		clients    = fs.Int("clients", 0, "override preset: simulated client population")
+		trawlIPs   = fs.Int("trawl-ips", 0, "override preset: trawling fleet IP addresses")
+		trawlSteps = fs.Int("trawl-steps", 0, "override preset: trawling rotation steps")
+		relays     = fs.Int("relays", 0, "override preset: honest relay network size")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
 	}
-	study, err := experiments.NewStudy(cfg)
+
+	if *list {
+		printList(w, reg)
+		return nil
+	}
+
+	spec, err := scenario.Lookup(*preset)
 	if err != nil {
 		return err
 	}
+	cfg := experiments.ConfigFromSpec(spec, *seed)
+	cfg.Workers = *workers
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			cfg.Scale = *scale
+		case "clients":
+			cfg.Clients = *clients
+		case "trawl-ips":
+			cfg.TrawlIPs = *trawlIPs
+		case "trawl-steps":
+			cfg.TrawlSteps = *trawlSteps
+		case "relays":
+			cfg.Relays = *relays
+		}
+	})
 
-	w := os.Stdout
-	switch *experiment {
-	case "all":
-		return study.RunAll(w)
-	case "collection":
-		c, err := study.RunCollectionComparison()
-		if err != nil {
-			return err
-		}
-		experiments.RenderCollectionComparison(w, c)
-	case "scan":
-		res, audit, err := study.RunScan()
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig1(w, res)
-		experiments.RenderCertAudit(w, audit)
-	case "content":
-		scanRes, _, err := study.RunScan()
-		if err != nil {
-			return err
-		}
-		res, err := study.RunContent(scanRes)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTableI(w, res)
-		experiments.RenderLanguages(w, res)
-		experiments.RenderFig2(w, res)
-	case "popularity":
-		res, err := study.RunPopularity()
-		if err != nil {
-			return err
-		}
-		experiments.RenderTableII(w, res, 30)
-	case "deanon":
-		rep, err := study.RunDeanon()
-		if err != nil {
-			return err
-		}
-		experiments.RenderFig3(w, rep)
-	case "service-deanon":
-		rep, err := study.RunServiceDeanon()
-		if err != nil {
-			return err
-		}
-		experiments.RenderServiceDeanon(w, rep)
-	case "tracking":
-		res, err := study.RunTracking()
-		if err != nil {
-			return err
-		}
-		experiments.RenderTracking(w, res)
-	default:
-		return fmt.Errorf("unknown experiment %q", *experiment)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		return err
 	}
-	return nil
+	return reg.Run(env, parseSelector(*selector), w)
+}
+
+// parseSelector splits the -experiment value; nil means every
+// registered experiment.
+func parseSelector(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "all" {
+			return nil
+		}
+		names = append(names, part)
+	}
+	return names
+}
+
+// printList renders the registry and the scenario presets. The section
+// bodies are two-space indented so scripts (the CI smoke job) can carve
+// out a section with awk.
+func printList(w io.Writer, reg *experiments.Registry) {
+	fmt.Fprintln(w, "experiments (in paper order):")
+	for _, name := range reg.Names() {
+		exp, _ := reg.Get(name)
+		needs := "-"
+		if n := exp.Needs(); len(n) > 0 {
+			needs = strings.Join(n, ",")
+		}
+		fmt.Fprintf(w, "  %-15s needs:%-10s %s\n", name, needs, reg.Describe(name))
+	}
+	fmt.Fprintln(w, "scenarios:")
+	for _, sp := range scenario.Presets() {
+		fmt.Fprintf(w, "  %-15s scale=%-5.2f clients=%-6d relays=%-5d %s\n",
+			sp.Name, sp.Scale, sp.Clients, sp.Relays, sp.Description)
+	}
 }

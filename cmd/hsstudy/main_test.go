@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"torhs/internal/experiments"
+	"torhs/internal/scenario"
+)
+
+// TestDocCommentMatchesRegistry pins the package doc comment's
+// experiment and scenario lists to the live registry and presets, so the
+// CLI documentation can never go stale again (the pre-registry switch
+// shipped with an outdated list for two releases).
+func TestDocCommentMatchesRegistry(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(src[:bytes.Index(src, []byte("package main"))])
+	// The doc comment wraps the lists over lines; normalise to one line.
+	flat := regexp.MustCompile(`(?m)^// ?`).ReplaceAllString(doc, "")
+	flat = strings.ReplaceAll(flat, "\n", " ")
+
+	wantExps := "Experiments: " + strings.Join(experiments.Paper().Names(), ", ") + "."
+	if !strings.Contains(flat, wantExps) {
+		t.Errorf("doc comment experiment list stale:\nwant %q", wantExps)
+	}
+	wantScens := "Scenarios: " + strings.Join(scenario.Names(), ", ") + "."
+	if !strings.Contains(flat, wantScens) {
+		t.Errorf("doc comment scenario list stale:\nwant %q", wantScens)
+	}
+}
+
+// TestListRendersRegistryAndPresets: -list must cover every registry
+// name and preset, in the awk-carvable two-section format.
+func TestListRendersRegistryAndPresets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range experiments.Paper().Names() {
+		if !strings.Contains(out, "\n  "+name) && !strings.HasPrefix(out, "  "+name) {
+			t.Errorf("-list missing experiment %q:\n%s", name, out)
+		}
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out, "\n  "+name) {
+			t.Errorf("-list missing scenario %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, experiments.ExpPrefixAudit) {
+		t.Errorf("-list missing the prefix audit:\n%s", out)
+	}
+}
+
+// TestCLIRunsSubsetThroughRegistry: a comma-separated subset including
+// the previously CLI-unreachable prefix audit resolves and renders only
+// the selection.
+func TestCLIRunsSubsetThroughRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-scenario", "smoke", "-seed", "3",
+		"-scale", "0.02", "-clients", "100", "-trawl-ips", "6", "-trawl-steps", "2", "-relays", "250",
+		"-experiment", "prefix-audit,tracking",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Vanity-prefix") || !strings.Contains(out, "Section VII") {
+		t.Fatalf("subset output incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "Fig. 1") || strings.Contains(out, "Table II") {
+		t.Fatalf("subset rendered unselected experiments:\n%s", out)
+	}
+	// Paper order, regardless of selector order.
+	if strings.Index(out, "Vanity-prefix") > strings.Index(out, "Section VII") {
+		t.Fatalf("subset rendered out of paper order:\n%s", out)
+	}
+}
+
+func TestCLIRejectsUnknownNames(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-scenario", "nope"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestCLIHelpIsNotAnError(t *testing.T) {
+	if err := run([]string{"-h"}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if err := run([]string{"-bogus-flag"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	trackscan [-seed N] [-save DIR]
+//	trackscan [-seed N] [-scenario NAME] [-save DIR]
 //	trackscan -archive DIR -target ONIONADDR [-from RFC3339 -to RFC3339]
 package main
 
@@ -17,12 +17,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"torhs/internal/consensus"
 	"torhs/internal/core/tracking"
 	"torhs/internal/experiments"
 	"torhs/internal/onion"
+	"torhs/internal/scenario"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 func run() error {
 	var (
 		seed    = flag.Int64("seed", 42, "random seed (demo mode)")
+		preset  = flag.String("scenario", scenario.Laptop, "scenario preset shaping the demo history window: "+strings.Join(scenario.Names(), "|"))
 		saveDir = flag.String("save", "", "save the demo consensus history to this directory")
 		archive = flag.String("archive", "", "load consensus documents from this directory instead of demo mode")
 		target  = flag.String("target", "", "target onion address (archive mode)")
@@ -47,7 +50,11 @@ func run() error {
 	if *archive != "" {
 		return runArchive(*archive, *target, *fromStr, *toStr, *csvPath)
 	}
-	return runDemo(*seed, *saveDir, *csvPath)
+	spec, err := scenario.Lookup(*preset)
+	if err != nil {
+		return err
+	}
+	return runDemo(*seed, spec, *saveDir, *csvPath)
 }
 
 func writeCSV(path string, rep *tracking.Report) error {
@@ -65,8 +72,10 @@ func writeCSV(path string, rep *tracking.Report) error {
 	return f.Close()
 }
 
-func runDemo(seed int64, saveDir, csvPath string) error {
-	sc, err := tracking.BuildScenario(tracking.DefaultScenarioConfig(seed))
+func runDemo(seed int64, spec scenario.Spec, saveDir, csvPath string) error {
+	scCfg := tracking.DefaultScenarioConfig(seed)
+	scCfg.Days = spec.TrackingWindow(scCfg.Days)
+	sc, err := tracking.BuildScenario(scCfg)
 	if err != nil {
 		return err
 	}

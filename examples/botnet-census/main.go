@@ -5,6 +5,9 @@
 // fingerprinted through their exposed Apache server-status pages: fronts
 // sharing an uptime share a physical machine.
 //
+// The landscape comes from the "botnet-heavy" scenario preset (a
+// Skynet-skewed population) through the shared experiment substrate.
+//
 //	go run ./examples/botnet-census
 package main
 
@@ -15,8 +18,10 @@ import (
 
 	"torhs/internal/core/scan"
 	"torhs/internal/darknet"
+	"torhs/internal/experiments"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
+	"torhs/internal/scenario"
 )
 
 func main() {
@@ -27,13 +32,19 @@ func main() {
 }
 
 func run() error {
-	popCfg := hspop.PaperConfig(7)
-	popCfg.Scale = 0.05
-	pop, err := hspop.Generate(popCfg)
+	spec := scenario.MustLookup(scenario.BotnetHeavy)
+	env, err := experiments.NewEnv(experiments.ConfigFromSpec(spec, 7))
 	if err != nil {
 		return err
 	}
-	fabric := darknet.New(pop)
+	pop, err := env.Population()
+	if err != nil {
+		return err
+	}
+	fabric, err := env.Fabric()
+	if err != nil {
+		return err
+	}
 
 	// 1. Scan everything; count the Skynet fingerprint.
 	sc, err := scan.New(fabric, scan.DefaultConfig(7))
@@ -47,6 +58,7 @@ func run() error {
 	res := sc.ScanAll(addrs)
 
 	infected := res.AbnormalCount[hspop.PortSkynet]
+	fmt.Printf("scenario: %s (bot factor %.1fx)\n", spec.Name, spec.BotFactor)
 	fmt.Printf("addresses with live descriptors: %d\n", res.WithDescriptor)
 	fmt.Printf("port-55080 abnormal errors (Skynet infections): %d (%.0f%% of live services)\n",
 		infected, 100*float64(infected)/float64(res.WithDescriptor))

@@ -3,6 +3,10 @@
 // traffic-signature attack and draw the per-country client distribution
 // as an ASCII bar chart — the data behind the paper's world map.
 //
+// The substrates (relay network, population, geo database) come from the
+// shared experiment Env sized by the "botnet-heavy" scenario preset; the
+// attack itself runs with a custom guard-control fraction.
+//
 //	go run ./examples/client-map
 package main
 
@@ -13,9 +17,8 @@ import (
 	"time"
 
 	"torhs/internal/core/deanon"
-	"torhs/internal/geo"
-	"torhs/internal/hspop"
-	"torhs/internal/relaynet"
+	"torhs/internal/experiments"
+	"torhs/internal/scenario"
 	"torhs/internal/simnet"
 )
 
@@ -28,33 +31,28 @@ func main() {
 
 func run() error {
 	const seed = 23
+	spec := scenario.MustLookup(scenario.BotnetHeavy)
+	env, err := experiments.NewEnv(experiments.ConfigFromSpec(spec, seed))
+	if err != nil {
+		return err
+	}
 
-	fleet := relaynet.DefaultFleetConfig(seed)
-	fleet.Days = 1
-	sim, err := relaynet.NewSim(fleet)
+	doc, err := env.Consensus(0)
 	if err != nil {
 		return err
 	}
-	h, err := sim.Run(nil)
+	db, err := env.GeoDB()
 	if err != nil {
 		return err
 	}
-	doc := h.All()[0]
+	pop, err := env.Population()
+	if err != nil {
+		return err
+	}
 
-	db, err := geo.NewDB(geo.DefaultBotnetMix())
-	if err != nil {
-		return err
-	}
 	netCfg := simnet.DefaultConfig(seed)
-	netCfg.Clients = 3000
+	netCfg.Clients = spec.Clients
 	net, err := simnet.NewNetwork(doc, db, netCfg)
-	if err != nil {
-		return err
-	}
-
-	popCfg := hspop.PaperConfig(seed)
-	popCfg.Scale = 0.05
-	pop, err := hspop.Generate(popCfg)
 	if err != nil {
 		return err
 	}

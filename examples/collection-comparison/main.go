@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"torhs/internal/experiments"
+	"torhs/internal/scenario"
 	"torhs/internal/textclass"
 )
 
@@ -26,8 +27,7 @@ func main() {
 }
 
 func run() error {
-	cfg := experiments.DefaultConfig(17)
-	cfg.Scale = 0.05
+	cfg := experiments.ConfigFromSpec(scenario.MustLookup(scenario.Laptop), 17)
 	study, err := experiments.NewStudy(cfg)
 	if err != nil {
 		return err

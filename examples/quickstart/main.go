@@ -12,14 +12,13 @@ import (
 )
 
 func main() {
-	// A smaller-than-default scale keeps the quickstart under a few
+	// The "smoke" scenario preset keeps the quickstart under a few
 	// seconds; shapes (who wins, by what factor) are scale-invariant.
-	cfg := torhs.DefaultStudyConfig(42)
-	cfg.Scale = 0.03
-	cfg.Clients = 500
-	cfg.TrawlIPs = 20
-	cfg.TrawlSteps = 5
-	cfg.Relays = 300
+	cfg, err := torhs.ScenarioConfig("smoke", 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 
 	study, err := torhs.NewStudy(cfg)
 	if err != nil {

@@ -4,6 +4,10 @@
 // year-slice (as the paper splits its three-year window) and print what
 // each slice reveals.
 //
+// The history window comes from the "stress" scenario preset, whose
+// TrackingDays doubles the default so every planted episode has quiet
+// consensus weather around it.
+//
 //	go run ./examples/silkroad-tracking
 package main
 
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"torhs/internal/core/tracking"
+	"torhs/internal/scenario"
 )
 
 func main() {
@@ -23,7 +28,9 @@ func main() {
 }
 
 func run() error {
+	spec := scenario.MustLookup(scenario.Stress)
 	cfg := tracking.DefaultScenarioConfig(99)
+	cfg.Days = spec.TrackingWindow(cfg.Days)
 	sc, err := tracking.BuildScenario(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+
+	"torhs/internal/core/content"
+	"torhs/internal/core/deanon"
+	"torhs/internal/core/scan"
+)
+
+// The paper registry's artefact types: thin typed wrappers that pair
+// each experiment's result with its section of the study output. The
+// full study render is exactly the concatenation of these sections in
+// registration order, which is what makes subset runs byte-identical to
+// their slice of the full run.
+
+type collectionArtefact struct{ res *CollectionComparison }
+
+func (a *collectionArtefact) Render(w io.Writer) { RenderCollectionComparison(w, a.res) }
+
+type scanArtefact struct {
+	res   *scan.Result
+	audit *scan.CertAudit
+}
+
+func (a *scanArtefact) Render(w io.Writer) {
+	RenderFig1(w, a.res)
+	RenderCertAudit(w, a.audit)
+}
+
+type contentArtefact struct{ res *content.Result }
+
+func (a *contentArtefact) Render(w io.Writer) {
+	RenderTableI(w, a.res)
+	RenderLanguages(w, a.res)
+	RenderFig2(w, a.res)
+}
+
+type prefixArtefact struct{ clusters []PrefixCluster }
+
+func (a *prefixArtefact) Render(w io.Writer) { RenderPrefixAudit(w, a.clusters) }
+
+type popularityArtefact struct{ res *PopularityResult }
+
+func (a *popularityArtefact) Render(w io.Writer) { RenderTableII(w, a.res, 30) }
+
+type deanonArtefact struct{ rep *deanon.Report }
+
+func (a *deanonArtefact) Render(w io.Writer) { RenderFig3(w, a.rep) }
+
+type serviceDeanonArtefact struct{ rep *deanon.ServiceReport }
+
+func (a *serviceDeanonArtefact) Render(w io.Writer) { RenderServiceDeanon(w, a.rep) }
+
+type trackingArtefact struct{ res *TrackingResult }
+
+func (a *trackingArtefact) Render(w io.Writer) { RenderTracking(w, a.res) }

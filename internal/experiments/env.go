@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"torhs/internal/consensus"
+	"torhs/internal/darknet"
+	"torhs/internal/geo"
+	"torhs/internal/hspop"
+	"torhs/internal/onion"
+	"torhs/internal/relaynet"
+)
+
+// memo is a lazily built, single-flight value: the first get builds it,
+// every later get returns the same (value, error) pair. Safe for
+// concurrent use; builds must be deterministic so that who triggers the
+// build never matters.
+type memo[T any] struct {
+	once sync.Once
+	done atomic.Bool
+	v    T
+	err  error
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.once.Do(func() {
+		m.v, m.err = build()
+		m.done.Store(true)
+	})
+	return m.v, m.err
+}
+
+// peek reports the built value without triggering (or blocking on) a
+// build: ok is false while the memo is unbuilt or mid-build.
+func (m *memo[T]) peek() (v T, err error, ok bool) {
+	if !m.done.Load() {
+		return v, nil, false
+	}
+	return m.v, m.err, true
+}
+
+// Env is the shared substrate an experiment pipeline runs against: the
+// configuration plus every expensive fixture the experiments share — the
+// generated population, the reachability fabric, the geo database,
+// honest relay networks keyed by seed offset, and the artefacts already
+// produced this run. Everything is built lazily, memoized, and safe to
+// reach from concurrently running experiments, so a pipeline pays for
+// exactly the substrates its selected experiments touch, exactly once.
+type Env struct {
+	cfg Config
+
+	pop    memo[*hspop.Population]
+	fabric memo[*darknet.Fabric]
+	geoDB  memo[*geo.DB]
+
+	mu        sync.Mutex
+	sims      map[int64]*memo[*relaynet.Sim]
+	docs      map[int64]*memo[*consensus.Document]
+	artefacts map[string]*memo[Artefact]
+}
+
+// NewEnv validates the configuration and returns an empty environment.
+// No substrate is built yet; experiments (or the accessors below) pull
+// what they need on demand.
+func NewEnv(cfg Config) (*Env, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("experiments: scale %v out of (0,1]", cfg.Scale)
+	}
+	if cfg.BotFactor < 0 {
+		return nil, fmt.Errorf("experiments: bot factor %v negative", cfg.BotFactor)
+	}
+	if cfg.TrackingDays < 0 {
+		return nil, fmt.Errorf("experiments: tracking days %d negative", cfg.TrackingDays)
+	}
+	return &Env{
+		cfg:       cfg,
+		sims:      make(map[int64]*memo[*relaynet.Sim]),
+		docs:      make(map[int64]*memo[*consensus.Document]),
+		artefacts: make(map[string]*memo[Artefact]),
+	}, nil
+}
+
+// Config returns the configuration the environment was built from.
+func (e *Env) Config() Config { return e.cfg }
+
+// Population returns the memoized synthetic hidden-service landscape.
+func (e *Env) Population() (*hspop.Population, error) {
+	return e.pop.get(func() (*hspop.Population, error) {
+		popCfg := hspop.PaperConfig(e.cfg.Seed)
+		popCfg.Scale = e.cfg.Scale
+		if e.cfg.BotFactor > 0 {
+			popCfg.SkynetBots = int(float64(popCfg.SkynetBots) * e.cfg.BotFactor)
+		}
+		pop, err := hspop.Generate(popCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		return pop, nil
+	})
+}
+
+// Fabric returns the memoized reachability fabric over the population.
+func (e *Env) Fabric() (*darknet.Fabric, error) {
+	return e.fabric.get(func() (*darknet.Fabric, error) {
+		pop, err := e.Population()
+		if err != nil {
+			return nil, err
+		}
+		return darknet.New(pop), nil
+	})
+}
+
+// GeoDB returns the memoized IP-geolocation database.
+func (e *Env) GeoDB() (*geo.DB, error) {
+	return e.geoDB.get(func() (*geo.DB, error) {
+		db, err := geo.NewDB(geo.DefaultBotnetMix())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		return db, nil
+	})
+}
+
+// RelaySim returns the memoized one-day honest relay network seeded at
+// Seed+offset, building its fleet on first use. Each offset yields an
+// independent network, so experiments that mutate their sim — deploying
+// a trawling fleet, running the fleet forward — must own a private
+// offset and run at most once per Env; read-only consumers may share.
+func (e *Env) RelaySim(offset int64) (*relaynet.Sim, error) {
+	e.mu.Lock()
+	m, ok := e.sims[offset]
+	if !ok {
+		m = &memo[*relaynet.Sim]{}
+		e.sims[offset] = m
+	}
+	e.mu.Unlock()
+	return m.get(func() (*relaynet.Sim, error) {
+		fleet := relaynet.DefaultFleetConfig(e.cfg.Seed + offset)
+		fleet.Days = 1
+		fleet.InitialRelays = e.cfg.Relays
+		fleet.FinalRelays = e.cfg.Relays
+		return relaynet.NewSim(fleet)
+	})
+}
+
+// Consensus returns the memoized first consensus of the relay network at
+// the given seed offset, running the fleet forward on first use. The
+// document is immutable after publication, so any number of experiments
+// can share one offset here — but not with a RelaySim mutator.
+func (e *Env) Consensus(offset int64) (*consensus.Document, error) {
+	e.mu.Lock()
+	m, ok := e.docs[offset]
+	if !ok {
+		m = &memo[*consensus.Document]{}
+		e.docs[offset] = m
+	}
+	e.mu.Unlock()
+	return m.get(func() (*consensus.Document, error) {
+		sim, err := e.RelaySim(offset)
+		if err != nil {
+			return nil, err
+		}
+		h, err := sim.Run(nil)
+		if err != nil {
+			return nil, err
+		}
+		return h.All()[0], nil
+	})
+}
+
+// Dep returns the artefact a dependency produced earlier in this run.
+// The scheduler guarantees every experiment named in Needs has finished
+// before Run is invoked; asking for anything else is a wiring bug and
+// yields an error — without disturbing the memo, so the experiment can
+// still run later.
+func (e *Env) Dep(name string) (Artefact, error) {
+	a, err, ok := e.artefactMemo(name).peek()
+	if !ok {
+		return nil, fmt.Errorf("experiments: dependency %q has not run (declare it in the experiment's Needs)", name)
+	}
+	return a, err
+}
+
+func (e *Env) artefactMemo(name string) *memo[Artefact] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, ok := e.artefacts[name]
+	if !ok {
+		m = &memo[Artefact]{}
+		e.artefacts[name] = m
+	}
+	return m
+}
+
+// addresses returns every onion address in the population (the trawled
+// collection).
+func (e *Env) addresses() ([]onion.Address, error) {
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]onion.Address, 0, pop.Len())
+	for _, svc := range pop.Services {
+		out = append(out, svc.Address)
+	}
+	return out, nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"torhs/internal/parallel"
+)
+
+// Artefact is one finished experiment result that knows how to render
+// itself as the paper's tables and figures.
+type Artefact interface {
+	Render(w io.Writer)
+}
+
+// ArtefactFunc adapts a closure to the Artefact interface, for
+// experiments registered outside this package.
+type ArtefactFunc func(io.Writer)
+
+// Render implements Artefact.
+func (f ArtefactFunc) Render(w io.Writer) { f(w) }
+
+// Experiment is one entry in the registry: a named, dependency-declaring
+// unit of the study. Run executes against the shared substrate; results
+// of experiments listed in Needs are available through Env.Dep.
+type Experiment interface {
+	Name() string
+	Needs() []string
+	Run(*Env) (Artefact, error)
+}
+
+// NewExperiment builds an Experiment from a closure. doc is the one-line
+// description surfaced by Registry.Describe (and `hsstudy -list`).
+func NewExperiment(name, doc string, needs []string, run func(*Env) (Artefact, error)) Experiment {
+	return funcExp{name: name, doc: doc, needs: needs, run: run}
+}
+
+type funcExp struct {
+	name  string
+	doc   string
+	needs []string
+	run   func(*Env) (Artefact, error)
+}
+
+func (f funcExp) Name() string { return f.name }
+
+func (f funcExp) Needs() []string { return append([]string(nil), f.needs...) }
+
+func (f funcExp) Run(e *Env) (Artefact, error) { return f.run(e) }
+
+func (f funcExp) Doc() string { return f.doc }
+
+// Registry holds experiments in registration order, which doubles as the
+// stable render order (for the paper registry: the paper's artefact
+// order). Registration requires dependencies to be registered first, so
+// the graph is acyclic by construction.
+type Registry struct {
+	order  []Experiment
+	byName map[string]Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Experiment)}
+}
+
+// Register appends e to the registry. Names must be unique,
+// comma/space-free (the CLI splits subsets on commas), and every
+// dependency must already be registered.
+func (r *Registry) Register(e Experiment) error {
+	name := e.Name()
+	if name == "" || name == "all" || strings.ContainsAny(name, ", \t\n") {
+		return fmt.Errorf("experiments: invalid experiment name %q", name)
+	}
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("experiments: duplicate experiment %q", name)
+	}
+	for _, dep := range e.Needs() {
+		if _, ok := r.byName[dep]; !ok {
+			return fmt.Errorf("experiments: %q needs unregistered experiment %q (register dependencies first)", name, dep)
+		}
+	}
+	r.byName[name] = e
+	r.order = append(r.order, e)
+	return nil
+}
+
+// Names lists every registered experiment in render order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	for i, e := range r.order {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Get returns the named experiment.
+func (r *Registry) Get(name string) (Experiment, bool) {
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// Describe returns an experiment's one-line description, if it carries
+// one (experiments built with NewExperiment do).
+func (r *Registry) Describe(name string) string {
+	if e, ok := r.byName[name]; ok {
+		if d, ok := e.(interface{ Doc() string }); ok {
+			return d.Doc()
+		}
+	}
+	return ""
+}
+
+// Resolve expands names to their dependency closure, returned in render
+// order. nil or empty names selects every registered experiment.
+func (r *Registry) Resolve(names []string) ([]Experiment, error) {
+	if len(names) == 0 {
+		return append([]Experiment(nil), r.order...), nil
+	}
+	want := make(map[string]bool)
+	var add func(name string)
+	add = func(name string) {
+		if want[name] {
+			return
+		}
+		want[name] = true
+		for _, dep := range r.byName[name].Needs() {
+			add(dep)
+		}
+	}
+	for _, name := range names {
+		if _, ok := r.byName[name]; !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", name, strings.Join(r.Names(), ", "))
+		}
+		add(name)
+	}
+	out := make([]Experiment, 0, len(want))
+	for _, e := range r.order {
+		if want[e.Name()] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// artefact returns the experiment's memoized artefact, running it (and,
+// when called outside the scheduler, any missing dependencies) first.
+// The memo makes every path single-flight: the scheduler, the Study
+// wrappers and direct calls all converge on one execution per Env.
+func (r *Registry) artefact(env *Env, name string) (Artefact, error) {
+	exp, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	m := env.artefactMemo(name)
+	return m.get(func() (Artefact, error) {
+		for _, dep := range exp.Needs() {
+			if _, err := r.artefact(env, dep); err != nil {
+				return nil, err
+			}
+		}
+		a, err := exp.Run(env)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return a, nil
+	})
+}
+
+// Run executes the named experiments — nil or empty means all — plus
+// their dependency closure, scheduling independent experiments
+// concurrently on the Env's worker budget, then renders the selected
+// artefacts (dependencies pulled in only for their results are executed
+// but not rendered) in stable render order. For a fixed seed the output
+// is byte-identical at every worker count and for every subset: each
+// experiment renders exactly the bytes it contributes to the full study.
+func (r *Registry) Run(env *Env, names []string, w io.Writer) error {
+	exps, err := r.Resolve(names)
+	if err != nil {
+		return err
+	}
+	selected := make(map[string]bool, len(names))
+	if len(names) == 0 {
+		for _, e := range exps {
+			selected[e.Name()] = true
+		}
+	} else {
+		for _, name := range names {
+			selected[name] = true
+		}
+	}
+
+	d := parallel.NewDAG(env.cfg.Workers)
+	for _, exp := range exps {
+		name := exp.Name()
+		if err := d.Add(name, exp.Needs(), func() error {
+			_, err := r.artefact(env, name)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if err := d.Run(); err != nil {
+		return err
+	}
+
+	for _, exp := range exps {
+		if !selected[exp.Name()] {
+			continue
+		}
+		a, err := r.artefact(env, exp.Name())
+		if err != nil {
+			return err
+		}
+		a.Render(w)
+	}
+	return nil
+}
+
+// Experiment names of the paper registry, in the paper's artefact order.
+const (
+	ExpCollection    = "collection"
+	ExpScan          = "scan"
+	ExpContent       = "content"
+	ExpPrefixAudit   = "prefix-audit"
+	ExpPopularity    = "popularity"
+	ExpDeanon        = "deanon"
+	ExpServiceDeanon = "service-deanon"
+	ExpTracking      = "tracking"
+)
+
+// registerPaper wires the paper's eight experiments, in artefact order.
+func registerPaper(r *Registry) error {
+	for _, e := range []Experiment{
+		NewExperiment(ExpCollection,
+			"introduction: link-graph crawl vs the trawling attack over one landscape",
+			nil,
+			func(e *Env) (Artefact, error) {
+				res, err := e.runCollectionComparison()
+				if err != nil {
+					return nil, err
+				}
+				return &collectionArtefact{res: res}, nil
+			}),
+		NewExperiment(ExpScan,
+			"Fig. 1 open-ports distribution + Section III certificate audit",
+			nil,
+			func(e *Env) (Artefact, error) {
+				res, audit, err := e.runScan()
+				if err != nil {
+					return nil, err
+				}
+				return &scanArtefact{res: res, audit: audit}, nil
+			}),
+		NewExperiment(ExpContent,
+			"Table I destinations, Section IV language mix, Fig. 2 topics",
+			[]string{ExpScan},
+			func(e *Env) (Artefact, error) {
+				dep, err := e.Dep(ExpScan)
+				if err != nil {
+					return nil, err
+				}
+				res, err := e.runContent(dep.(*scanArtefact).res)
+				if err != nil {
+					return nil, err
+				}
+				return &contentArtefact{res: res}, nil
+			}),
+		NewExperiment(ExpPrefixAudit,
+			"vanity-prefix clusters (the paper's silkroa phishing audit)",
+			nil,
+			func(e *Env) (Artefact, error) {
+				clusters, err := e.runPrefixAudit(7, 3)
+				if err != nil {
+					return nil, err
+				}
+				return &prefixArtefact{clusters: clusters}, nil
+			}),
+		NewExperiment(ExpPopularity,
+			"Table II popularity ranking over the trawled request log",
+			nil,
+			func(e *Env) (Artefact, error) {
+				res, err := e.runPopularity()
+				if err != nil {
+					return nil, err
+				}
+				return &popularityArtefact{res: res}, nil
+			}),
+		NewExperiment(ExpDeanon,
+			"Fig. 3: deanonymise the clients of the rank-1 Goldnet front",
+			nil,
+			func(e *Env) (Artefact, error) {
+				rep, err := e.runDeanon()
+				if err != nil {
+					return nil, err
+				}
+				return &deanonArtefact{rep: rep}, nil
+			}),
+		NewExperiment(ExpServiceDeanon,
+			"Section II-B service-side guard attack on the Silk Road stand-in",
+			nil,
+			func(e *Env) (Artefact, error) {
+				rep, err := e.runServiceDeanon()
+				if err != nil {
+					return nil, err
+				}
+				return &serviceDeanonArtefact{rep: rep}, nil
+			}),
+		NewExperiment(ExpTracking,
+			"Section VII tracking detection on the Silk Road consensus history",
+			nil,
+			func(e *Env) (Artefact, error) {
+				res, err := e.runTracking()
+				if err != nil {
+					return nil, err
+				}
+				return &trackingArtefact{res: res}, nil
+			}),
+	} {
+		if err := r.Register(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// paperRegistry is the immutable shared instance behind Study's typed
+// wrappers; external callers get their own mutable copy from Paper.
+var paperRegistry = Paper()
+
+// Paper returns a fresh registry holding the paper's eight experiments
+// in artefact order. Callers may Register additional experiments; the
+// scheduler, subset selection and rendering pick them up with no other
+// wiring.
+func Paper() *Registry {
+	r := NewRegistry()
+	if err := registerPaper(r); err != nil {
+		panic(err)
+	}
+	return r
+}

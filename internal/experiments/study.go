@@ -1,7 +1,10 @@
 // Package experiments wires the substrates and pipelines into one harness
-// per table and figure of the paper. Each RunX method regenerates the
-// corresponding artefact (at simulation scale) and renders the same rows
-// or series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+// per table and figure of the paper. Each experiment is registered in a
+// declarative Registry (see registry.go) with its dependencies; a shared
+// Env memoizes the substrates; artefacts render the same rows or series
+// the paper reports. EXPERIMENTS.md maps registry names to paper
+// artefacts. Study is the typed facade over the same registry for
+// callers that want one experiment's concrete result.
 package experiments
 
 import (
@@ -18,11 +21,10 @@ import (
 	"torhs/internal/core/trawl"
 	"torhs/internal/core/webcrawl"
 	"torhs/internal/darknet"
-	"torhs/internal/geo"
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
-	"torhs/internal/parallel"
 	"torhs/internal/relaynet"
+	"torhs/internal/scenario"
 	"torhs/internal/simnet"
 )
 
@@ -48,71 +50,73 @@ type Config struct {
 	// knob when experiments overlap. For a fixed Seed the rendered
 	// output is byte-identical at every worker count.
 	Workers int
+	// BotFactor scales the Skynet bot population relative to the
+	// paper's calibrated count (0 means 1.0, the paper's mix).
+	// Scenario presets use it for botnet-heavy workloads.
+	BotFactor float64
+	// TrackingDays overrides the Section VII scenario window length in
+	// days (0 = the tracking substrate's default).
+	TrackingDays int
 }
 
 // DefaultConfig runs a laptop-scale study whose shapes match the paper.
 func DefaultConfig(seed int64) Config {
+	return ConfigFromSpec(scenario.MustLookup(scenario.Laptop), seed)
+}
+
+// ConfigFromSpec turns a declarative scenario preset into a study
+// configuration. Workers stays 0 (one per CPU); set it separately.
+func ConfigFromSpec(sp scenario.Spec, seed int64) Config {
 	return Config{
-		Seed:       seed,
-		Scale:      0.05,
-		Clients:    1500,
-		TrawlIPs:   30,
-		TrawlSteps: 8,
-		Relays:     350,
+		Seed:         seed,
+		Scale:        sp.Scale,
+		Clients:      sp.Clients,
+		TrawlIPs:     sp.TrawlIPs,
+		TrawlSteps:   sp.TrawlSteps,
+		Relays:       sp.Relays,
+		BotFactor:    sp.BotFactor,
+		TrackingDays: sp.TrackingDays,
 	}
 }
 
-// Study owns the shared substrates: one population, one fabric, one geo
-// database.
+// Study is the typed facade over the paper registry: it owns one Env and
+// exposes each registered experiment as a RunX method returning concrete
+// result types. Results are memoized per Study — a second call returns
+// the first call's (deterministic) artefact.
 type Study struct {
-	cfg    Config
-	pop    *hspop.Population
-	fabric *darknet.Fabric
-	geoDB  *geo.DB
+	env *Env
 }
 
-// NewStudy generates the population and fabric.
+// NewStudy validates the configuration and eagerly builds the shared
+// substrates (population, fabric, geo database) so construction errors
+// surface here rather than mid-pipeline.
 func NewStudy(cfg Config) (*Study, error) {
-	if cfg.Scale <= 0 || cfg.Scale > 1 {
-		return nil, fmt.Errorf("experiments: scale %v out of (0,1]", cfg.Scale)
-	}
-	popCfg := hspop.PaperConfig(cfg.Seed)
-	popCfg.Scale = cfg.Scale
-	pop, err := hspop.Generate(popCfg)
+	env, err := NewEnv(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+		return nil, err
 	}
-	db, err := geo.NewDB(geo.DefaultBotnetMix())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+	if _, err := env.Fabric(); err != nil { // builds the population too
+		return nil, err
 	}
-	return &Study{cfg: cfg, pop: pop, fabric: darknet.New(pop), geoDB: db}, nil
+	if _, err := env.GeoDB(); err != nil {
+		return nil, err
+	}
+	return &Study{env: env}, nil
 }
+
+// Env exposes the study's shared substrate environment.
+func (s *Study) Env() *Env { return s.env }
 
 // Population exposes the generated landscape.
-func (s *Study) Population() *hspop.Population { return s.pop }
-
-// Fabric exposes the reachability fabric.
-func (s *Study) Fabric() *darknet.Fabric { return s.fabric }
-
-// addresses returns every onion address in the population (the trawled
-// collection).
-func (s *Study) addresses() []onion.Address {
-	out := make([]onion.Address, 0, s.pop.Len())
-	for _, svc := range s.pop.Services {
-		out = append(out, svc.Address)
-	}
-	return out
+func (s *Study) Population() *hspop.Population {
+	pop, _ := s.env.Population() // built by NewStudy
+	return pop
 }
 
-// newRelayNetwork builds a one-day honest network and returns its first
-// consensus.
-func (s *Study) newRelayNetwork(seedOffset int64) (*relaynet.Sim, error) {
-	fleet := relaynet.DefaultFleetConfig(s.cfg.Seed + seedOffset)
-	fleet.Days = 1
-	fleet.InitialRelays = s.cfg.Relays
-	fleet.FinalRelays = s.cfg.Relays
-	return relaynet.NewSim(fleet)
+// Fabric exposes the reachability fabric.
+func (s *Study) Fabric() *darknet.Fabric {
+	f, _ := s.env.Fabric() // built by NewStudy
+	return f
 }
 
 // CollectionComparison quantifies the paper's motivating gap: link-graph
@@ -129,12 +133,28 @@ type CollectionComparison struct {
 // trawling attack over the same population (E0, the introduction's
 // motivation).
 func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
-	wc, err := webcrawl.New(s.fabric, webcrawl.DefaultConfig())
+	a, err := paperRegistry.artefact(s.env, ExpCollection)
+	if err != nil {
+		return nil, err
+	}
+	return a.(*collectionArtefact).res, nil
+}
+
+func (e *Env) runCollectionComparison() (*CollectionComparison, error) {
+	fabric, err := e.Fabric()
+	if err != nil {
+		return nil, err
+	}
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
+	wc, err := webcrawl.New(fabric, webcrawl.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
 	var seeds []onion.Address
-	for _, svc := range s.pop.Services {
+	for _, svc := range pop.Services {
 		switch svc.Label {
 		case "TorDir", "Onion Bookmarks", "SilkRoad(wiki)", "Tor Host":
 			seeds = append(seeds, svc.Address)
@@ -142,27 +162,12 @@ func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
 	}
 	crawlRes := wc.Crawl(seeds)
 
-	sim, err := s.newRelayNetwork(4)
-	if err != nil {
-		return nil, err
-	}
-	tCfg := trawl.DefaultConfig(s.cfg.Seed)
-	tCfg.IPs = s.cfg.TrawlIPs
-	tCfg.Steps = s.cfg.TrawlSteps
-	tCfg.DriveTraffic = false
-	tCfg.Workers = s.cfg.Workers
-	tr, err := trawl.NewTrawler(tCfg)
-	if err != nil {
-		return nil, err
-	}
-	start := relaynet.DefaultFleetConfig(s.cfg.Seed).Start.Add(48 * time.Hour)
-	tr.Deploy(sim, start)
-	harvest, err := tr.Run(sim, s.pop, s.geoDB, start)
+	harvest, err := e.runTrawl(4, false)
 	if err != nil {
 		return nil, err
 	}
 
-	published := len(s.pop.WithDescriptor())
+	published := len(pop.WithDescriptor())
 	out := &CollectionComparison{
 		Published:       published,
 		CrawlDiscovered: len(crawlRes.Discovered),
@@ -175,6 +180,40 @@ func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
 	return out, nil
 }
 
+// runTrawl deploys a trawling fleet on the relay network at the given
+// seed offset and runs the collection, optionally driving client
+// traffic. The trawler mutates its sim, so each caller owns its offset.
+func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, error) {
+	sim, err := e.RelaySim(seedOffset)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
+	geoDB, err := e.GeoDB()
+	if err != nil {
+		return nil, err
+	}
+	tCfg := trawl.DefaultConfig(e.cfg.Seed)
+	tCfg.IPs = e.cfg.TrawlIPs
+	tCfg.Steps = e.cfg.TrawlSteps
+	tCfg.Workers = e.cfg.Workers
+	if driveTraffic {
+		tCfg.ClientConfig.Clients = e.cfg.Clients
+	} else {
+		tCfg.DriveTraffic = false
+	}
+	tr, err := trawl.NewTrawler(tCfg)
+	if err != nil {
+		return nil, err
+	}
+	start := relaynet.DefaultFleetConfig(e.cfg.Seed).Start.Add(48 * time.Hour)
+	tr.Deploy(sim, start)
+	return tr.Run(sim, pop, geoDB, start)
+}
+
 // PrefixCluster is a group of onion addresses sharing a vanity prefix —
 // the paper noticed 15 addresses with prefix "silkroa", at least one a
 // phishing imitation of the Silk Road login page.
@@ -185,16 +224,25 @@ type PrefixCluster struct {
 }
 
 // RunPrefixAudit groups the collected addresses by their first prefixLen
-// characters and reports clusters of at least minSize addresses.
+// characters and reports clusters of at least minSize addresses. The
+// registered experiment uses (7, 3), the paper's parameters.
 func (s *Study) RunPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
+	return s.env.runPrefixAudit(prefixLen, minSize)
+}
+
+func (e *Env) runPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
 	if prefixLen <= 0 || prefixLen >= 16 {
 		return nil, fmt.Errorf("experiments: prefix length %d out of (0,16)", prefixLen)
 	}
 	if minSize < 2 {
 		return nil, fmt.Errorf("experiments: cluster size %d must be >= 2", minSize)
 	}
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
 	groups := make(map[string][]*hspop.Service)
-	for _, svc := range s.pop.Services {
+	for _, svc := range pop.Services {
 		if !svc.DescriptorAtScan {
 			continue
 		}
@@ -224,22 +272,47 @@ func (s *Study) RunPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) 
 
 // RunScan executes E1 (Fig. 1) and the certificate audit (E2).
 func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
-	scCfg := scan.DefaultConfig(s.cfg.Seed)
-	scCfg.Workers = s.cfg.Workers
-	sc, err := scan.New(s.fabric, scCfg)
+	a, err := paperRegistry.artefact(s.env, ExpScan)
 	if err != nil {
 		return nil, nil, err
 	}
-	res := sc.ScanAll(s.addresses())
+	sa := a.(*scanArtefact)
+	return sa.res, sa.audit, nil
+}
+
+func (e *Env) runScan() (*scan.Result, *scan.CertAudit, error) {
+	fabric, err := e.Fabric()
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs, err := e.addresses()
+	if err != nil {
+		return nil, nil, err
+	}
+	scCfg := scan.DefaultConfig(e.cfg.Seed)
+	scCfg.Workers = e.cfg.Workers
+	sc, err := scan.New(fabric, scCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := sc.ScanAll(addrs)
 	return res, sc.AuditCertificates(res), nil
 }
 
 // RunContent executes E3–E5 (Table I, language mix, Fig. 2), feeding the
 // crawl with the scan's destinations.
 func (s *Study) RunContent(scanRes *scan.Result) (*content.Result, error) {
+	return s.env.runContent(scanRes)
+}
+
+func (e *Env) runContent(scanRes *scan.Result) (*content.Result, error) {
+	fabric, err := e.Fabric()
+	if err != nil {
+		return nil, err
+	}
 	crCfg := content.DefaultConfig()
-	crCfg.Workers = s.cfg.Workers
-	cr, err := content.New(s.fabric, crCfg)
+	crCfg.Workers = e.cfg.Workers
+	cr, err := content.New(fabric, crCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -260,39 +333,33 @@ type PopularityResult struct {
 // RunPopularity executes the trawl with traffic and resolves the request
 // log (E6, Table II).
 func (s *Study) RunPopularity() (*PopularityResult, error) {
-	sim, err := s.newRelayNetwork(1)
+	a, err := paperRegistry.artefact(s.env, ExpPopularity)
 	if err != nil {
 		return nil, err
 	}
-	tCfg := trawl.DefaultConfig(s.cfg.Seed)
-	tCfg.IPs = s.cfg.TrawlIPs
-	tCfg.Steps = s.cfg.TrawlSteps
-	tCfg.ClientConfig.Clients = s.cfg.Clients
-	tCfg.Workers = s.cfg.Workers
-	tr, err := trawl.NewTrawler(tCfg)
+	return a.(*popularityArtefact).res, nil
+}
+
+func (e *Env) runPopularity() (*PopularityResult, error) {
+	harvest, err := e.runTrawl(1, true)
 	if err != nil {
 		return nil, err
 	}
-	start := relaynet.DefaultFleetConfig(s.cfg.Seed).Start.Add(48 * time.Hour)
-	tr.Deploy(sim, start)
-	harvest, err := tr.Run(sim, s.pop, s.geoDB, start)
+	pop, err := e.Population()
 	if err != nil {
 		return nil, err
 	}
 
 	// Resolve over a ±days window, as the paper does (28 Jan – 8 Feb).
-	services := make(map[onion.Address]onion.PermanentID, len(harvest.PermIDs))
-	for addr, id := range harvest.PermIDs {
-		services[addr] = id
-	}
-	ix, err := popularity.BuildIndexWorkers(services,
-		start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour), s.cfg.Workers)
+	start := relaynet.DefaultFleetConfig(e.cfg.Seed).Start.Add(48 * time.Hour)
+	ix, err := popularity.BuildIndexWorkers(harvest.PermIDs,
+		start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour), e.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	res := popularity.Resolve(harvest.Log.CountsByID(), ix)
 	ranking := popularity.Rank(res, func(a onion.Address) string {
-		if svc, ok := s.pop.ByAddress(a); ok {
+		if svc, ok := pop.ByAddress(a); ok {
 			return svc.Label
 		}
 		return ""
@@ -307,53 +374,87 @@ func (s *Study) RunPopularity() (*PopularityResult, error) {
 // RunDeanon executes E7 (Fig. 3): deanonymise the clients of the most
 // popular Goldnet front.
 func (s *Study) RunDeanon() (*deanon.Report, error) {
-	sim, err := s.newRelayNetwork(2)
+	a, err := paperRegistry.artefact(s.env, ExpDeanon)
 	if err != nil {
 		return nil, err
 	}
-	h, err := sim.Run(nil)
+	return a.(*deanonArtefact).rep, nil
+}
+
+func (e *Env) runDeanon() (*deanon.Report, error) {
+	doc, err := e.Consensus(2)
 	if err != nil {
 		return nil, err
 	}
-	doc := h.All()[0]
-	netCfg := simnet.DefaultConfig(s.cfg.Seed)
-	netCfg.Clients = s.cfg.Clients
-	netCfg.Workers = s.cfg.Workers
-	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
+	geoDB, err := e.GeoDB()
+	if err != nil {
+		return nil, err
+	}
+	netCfg := simnet.DefaultConfig(e.cfg.Seed)
+	netCfg.Clients = e.cfg.Clients
+	netCfg.Workers = e.cfg.Workers
+	net, err := simnet.NewNetwork(doc, geoDB, netCfg)
 	if err != nil {
 		return nil, err
 	}
 	now := doc.ValidAfter
-	net.PublishAll(s.pop, now)
+	net.PublishAll(pop, now)
 
-	target := s.pop.Services[0] // rank-1 Goldnet front
-	cfg := deanon.DefaultConfig(s.cfg.Seed)
-	return deanon.Run(net, s.pop, target, now, cfg)
+	// The paper targets the most popular hidden service, the rank-1
+	// Goldnet C&C front — the first Goldnet-labelled Table II head
+	// entry, not whatever happens to sit at index 0.
+	var target *hspop.Service
+	for _, svc := range pop.Services {
+		if svc.Label == "Goldnet" {
+			target = svc
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("experiments: no Goldnet front in population (Table II head missing)")
+	}
+	cfg := deanon.DefaultConfig(e.cfg.Seed)
+	return deanon.Run(net, pop, target, now, cfg)
 }
 
 // RunServiceDeanon executes the Section II-B dependency experiment: the
 // original [8] guard attack against the hidden service itself, applied to
 // the Silk Road stand-in over a month of daily descriptor uploads.
 func (s *Study) RunServiceDeanon() (*deanon.ServiceReport, error) {
-	sim, err := s.newRelayNetwork(3)
+	a, err := paperRegistry.artefact(s.env, ExpServiceDeanon)
 	if err != nil {
 		return nil, err
 	}
-	h, err := sim.Run(nil)
+	return a.(*serviceDeanonArtefact).rep, nil
+}
+
+func (e *Env) runServiceDeanon() (*deanon.ServiceReport, error) {
+	doc, err := e.Consensus(3)
 	if err != nil {
 		return nil, err
 	}
-	doc := h.All()[0]
-	netCfg := simnet.DefaultConfig(s.cfg.Seed)
+	pop, err := e.Population()
+	if err != nil {
+		return nil, err
+	}
+	geoDB, err := e.GeoDB()
+	if err != nil {
+		return nil, err
+	}
+	netCfg := simnet.DefaultConfig(e.cfg.Seed)
 	netCfg.Clients = 10 // client traffic is irrelevant here
-	netCfg.Workers = s.cfg.Workers
-	net, err := simnet.NewNetwork(doc, s.geoDB, netCfg)
+	netCfg.Workers = e.cfg.Workers
+	net, err := simnet.NewNetwork(doc, geoDB, netCfg)
 	if err != nil {
 		return nil, err
 	}
 
 	var target *hspop.Service
-	for _, svc := range s.pop.Services {
+	for _, svc := range pop.Services {
 		if svc.Label == "SilkRoad" {
 			target = svc
 			break
@@ -362,7 +463,7 @@ func (s *Study) RunServiceDeanon() (*deanon.ServiceReport, error) {
 	if target == nil {
 		return nil, fmt.Errorf("experiments: no SilkRoad service in population")
 	}
-	return deanon.RunServiceSide(net, target, doc.ValidAfter, deanon.DefaultServiceConfig(s.cfg.Seed))
+	return deanon.RunServiceSide(net, target, doc.ValidAfter, deanon.DefaultServiceConfig(e.cfg.Seed))
 }
 
 // TrackingResult bundles E8 artefacts.
@@ -374,9 +475,20 @@ type TrackingResult struct {
 // RunTracking executes E8: build the Silk Road consensus history with
 // planted trackers and detect them.
 func (s *Study) RunTracking() (*TrackingResult, error) {
+	a, err := paperRegistry.artefact(s.env, ExpTracking)
+	if err != nil {
+		return nil, err
+	}
+	return a.(*trackingArtefact).res, nil
+}
+
+func (e *Env) runTracking() (*TrackingResult, error) {
 	// One config for both the scenario build and the analysis window, so
 	// the two can never silently diverge.
-	scCfg := tracking.DefaultScenarioConfig(s.cfg.Seed)
+	scCfg := tracking.DefaultScenarioConfig(e.cfg.Seed)
+	if e.cfg.TrackingDays > 0 {
+		scCfg.Days = e.cfg.TrackingDays
+	}
 	sc, err := tracking.BuildScenario(scCfg)
 	if err != nil {
 		return nil, err
@@ -393,101 +505,12 @@ func (s *Study) RunTracking() (*TrackingResult, error) {
 	return &TrackingResult{Scenario: sc, Report: rep}, nil
 }
 
-// studyResults holds every experiment's artefacts while the scheduler
-// collects them out of order.
-type studyResults struct {
-	comparison *CollectionComparison
-	scanRes    *scan.Result
-	audit      *scan.CertAudit
-	contentRes *content.Result
-	clusters   []PrefixCluster
-	popRes     *PopularityResult
-	deaRes     *deanon.Report
-	svcRes     *deanon.ServiceReport
-	trackRes   *TrackingResult
-}
-
-// RunAll executes every experiment and renders the results to w.
-//
-// Execution is decoupled from rendering: the independent experiments run
-// concurrently (they already derive disjoint seed streams via
-// newRelayNetwork's seed offsets, and the shared population, fabric and
-// geo database are read-only once built), the content crawl chains after
-// the scan it feeds on, and when everything has finished the results are
-// rendered sequentially in the paper's order. For a fixed seed the
-// output is byte-identical at every Workers value.
+// RunAll executes every registered experiment and renders the results to
+// w: the registry schedules independent experiments concurrently (the
+// declared scan→content edge chains, everything else overlaps), and the
+// artefacts render in stable paper order once all finish. For a fixed
+// seed the output is byte-identical at every Workers value and equals
+// the concatenation of every per-experiment subset run.
 func (s *Study) RunAll(w io.Writer) error {
-	var res studyResults
-	g := parallel.NewGroup(s.cfg.Workers)
-	g.Go(func() error {
-		var err error
-		if res.comparison, err = s.RunCollectionComparison(); err != nil {
-			return fmt.Errorf("collection comparison: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.scanRes, res.audit, err = s.RunScan(); err != nil {
-			return fmt.Errorf("scan: %w", err)
-		}
-		// The crawl consumes the scan's destinations, so it chains here
-		// rather than running as its own task.
-		if res.contentRes, err = s.RunContent(res.scanRes); err != nil {
-			return fmt.Errorf("content: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.clusters, err = s.RunPrefixAudit(7, 3); err != nil {
-			return fmt.Errorf("prefix audit: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.popRes, err = s.RunPopularity(); err != nil {
-			return fmt.Errorf("popularity: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.deaRes, err = s.RunDeanon(); err != nil {
-			return fmt.Errorf("deanon: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.svcRes, err = s.RunServiceDeanon(); err != nil {
-			return fmt.Errorf("service deanon: %w", err)
-		}
-		return nil
-	})
-	g.Go(func() error {
-		var err error
-		if res.trackRes, err = s.RunTracking(); err != nil {
-			return fmt.Errorf("tracking: %w", err)
-		}
-		return nil
-	})
-	if err := g.Wait(); err != nil {
-		return err
-	}
-
-	// Render in stable paper order.
-	RenderCollectionComparison(w, res.comparison)
-	RenderFig1(w, res.scanRes)
-	RenderCertAudit(w, res.audit)
-	RenderTableI(w, res.contentRes)
-	RenderLanguages(w, res.contentRes)
-	RenderFig2(w, res.contentRes)
-	RenderPrefixAudit(w, res.clusters)
-	RenderTableII(w, res.popRes, 30)
-	RenderFig3(w, res.deaRes)
-	RenderServiceDeanon(w, res.svcRes)
-	RenderTracking(w, res.trackRes)
-	return nil
+	return paperRegistry.Run(s.env, nil, w)
 }

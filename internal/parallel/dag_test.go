@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDAGRespectsDependencies(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	record := func(key string) func() error {
+		return func() error {
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+			return nil
+		}
+	}
+	d := NewDAG(8)
+	// c -> b -> a, d independent.
+	if err := d.Add("c", []string{"b"}, record("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("a", nil, record("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("b", []string{"a"}, record("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("d", nil, record("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, key := range order {
+		pos[key] = i
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d tasks, want 4 (%v)", len(order), order)
+	}
+	if !(pos["a"] < pos["b"] && pos["b"] < pos["c"]) {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+}
+
+func TestDAGDuplicateKey(t *testing.T) {
+	d := NewDAG(1)
+	if err := d.Add("x", nil, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("x", nil, func() error { return nil }); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestDAGUnknownDependency(t *testing.T) {
+	d := NewDAG(1)
+	if err := d.Add("x", []string{"ghost"}, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown dependency not reported: %v", err)
+	}
+}
+
+func TestDAGCycle(t *testing.T) {
+	d := NewDAG(2)
+	ran := false
+	if err := d.Add("a", []string{"b"}, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("b", []string{"a"}, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not reported: %v", err)
+	}
+	if ran {
+		t.Fatal("task ran despite cycle")
+	}
+}
+
+func TestDAGSkipsDownstreamOfFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var downstream, sibling atomic.Bool
+	d := NewDAG(4)
+	if err := d.Add("fail", nil, func() error { return boom }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("child", []string{"fail"}, func() error { downstream.Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("grandchild", []string{"child"}, func() error { downstream.Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("independent", nil, func() error { sibling.Store(true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if downstream.Load() {
+		t.Fatal("task downstream of a failure ran")
+	}
+	if !sibling.Load() {
+		t.Fatal("independent sibling was not run")
+	}
+}
+
+func TestDAGFirstErrorInAddOrder(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	// The later-added task fails instantly, the earlier one slowly; the
+	// reported error must still be the earlier one.
+	for i := 0; i < 10; i++ {
+		d := NewDAG(4)
+		if err := d.Add("slow", nil, func() error {
+			for j := 0; j < 1000; j++ {
+				_ = j
+			}
+			return first
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Add("fast", nil, func() error { return second }); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Run(); !errors.Is(err, first) {
+			t.Fatalf("err = %v, want first-added task's error", err)
+		}
+	}
+}
+
+func TestDAGWorkerLimit(t *testing.T) {
+	var running, peak atomic.Int32
+	d := NewDAG(2)
+	for i := 0; i < 16; i++ {
+		key := string(rune('a' + i))
+		if err := d.Add(key, nil, func() error {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			for j := 0; j < 10000; j++ {
+				_ = j
+			}
+			running.Add(-1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds worker limit 2", p)
+	}
+}

@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsAreValidAndUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, s := range Presets() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("preset %q has no description", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate preset %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, name := range []string{Laptop, Smoke, PaperScale, Stress, BotnetHeavy} {
+		if !seen[name] {
+			t.Errorf("named preset %q missing from Presets()", name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup(Laptop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != Laptop || s.Scale != 0.05 {
+		t.Fatalf("laptop preset malformed: %+v", s)
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil || !strings.Contains(err.Error(), Laptop) {
+		t.Fatalf("unknown preset error should list the presets, got %v", err)
+	}
+}
+
+func TestPresetsAreCopies(t *testing.T) {
+	a := MustLookup(Smoke)
+	a.Clients = -1
+	if b := MustLookup(Smoke); b.Clients == -1 {
+		t.Fatal("Lookup returned a shared Spec")
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	good := MustLookup(Laptop)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"comma name", func(s *Spec) { s.Name = "a,b" }},
+		{"zero scale", func(s *Spec) { s.Scale = 0 }},
+		{"overscale", func(s *Spec) { s.Scale = 1.5 }},
+		{"no clients", func(s *Spec) { s.Clients = 0 }},
+		{"no fleet", func(s *Spec) { s.TrawlIPs = 0 }},
+		{"no relays", func(s *Spec) { s.Relays = 0 }},
+		{"negative bot factor", func(s *Spec) { s.BotFactor = -1 }},
+		{"negative tracking days", func(s *Spec) { s.TrackingDays = -1 }},
+	} {
+		s := good
+		tc.mutate(&s)
+		if s.Validate() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"torhs/internal/experiments"
 	"torhs/internal/hspop"
+	"torhs/internal/scenario"
 )
 
 func paperScaleStudy(t *testing.T) *experiments.Study {
@@ -20,14 +21,7 @@ func paperScaleStudy(t *testing.T) *experiments.Study {
 	if os.Getenv("TORHS_PAPER_SCALE") == "" {
 		t.Skip("set TORHS_PAPER_SCALE=1 to run the full-scale study")
 	}
-	cfg := experiments.Config{
-		Seed:       42,
-		Scale:      1.0,
-		Clients:    4000,
-		TrawlIPs:   58,
-		TrawlSteps: 12,
-		Relays:     1400,
-	}
+	cfg := experiments.ConfigFromSpec(scenario.MustLookup(scenario.PaperScale), 42)
 	s, err := experiments.NewStudy(cfg)
 	if err != nil {
 		t.Fatal(err)

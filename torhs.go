@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"torhs/internal/experiments"
+	"torhs/internal/scenario"
 )
 
 // StudyConfig parameterises a full study run.
@@ -40,6 +41,17 @@ type TrackingResult = experiments.TrackingResult
 // shapes match the paper.
 func DefaultStudyConfig(seed int64) StudyConfig {
 	return experiments.DefaultConfig(seed)
+}
+
+// ScenarioConfig returns the study configuration for a named scenario
+// preset ("laptop", "smoke", "paper-scale", "stress", "botnet-heavy" —
+// see internal/scenario).
+func ScenarioConfig(name string, seed int64) (StudyConfig, error) {
+	sp, err := scenario.Lookup(name)
+	if err != nil {
+		return StudyConfig{}, err
+	}
+	return experiments.ConfigFromSpec(sp, seed), nil
 }
 
 // NewStudy generates the population and wires the substrates.
