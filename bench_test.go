@@ -16,6 +16,7 @@ import (
 	"torhs/internal/core/popularity"
 	"torhs/internal/core/scan"
 	"torhs/internal/core/tracking"
+	"torhs/internal/core/trawl"
 	"torhs/internal/core/webcrawl"
 	"torhs/internal/corpus"
 	"torhs/internal/darknet"
@@ -360,6 +361,75 @@ func BenchmarkFullStudy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkTrawlHarvest runs the Section II-A collection pipeline end to
+// end at reduced scale: deploy a shadow-relay fleet, rotate it through
+// the consensus, re-publish every service descriptor per step, drive
+// client traffic, and read out the attacker directories.
+func BenchmarkTrawlHarvest(b *testing.B) {
+	e := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet := relaynet.DefaultFleetConfig(int64(i))
+		fleet.Days = 1
+		fleet.InitialRelays = 250
+		fleet.FinalRelays = 250
+		sim, err := relaynet.NewSim(fleet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tCfg := trawl.DefaultConfig(int64(i))
+		tCfg.IPs = 10
+		tCfg.Steps = 3
+		tCfg.ClientConfig.Clients = 200
+		tr, err := trawl.NewTrawler(tCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := fleet.Start.Add(48 * time.Hour)
+		tr.Deploy(sim, start)
+		h, err := tr.Run(sim, e.pop, e.geoDB, start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(h.Addresses) == 0 {
+			b.Fatal("empty harvest")
+		}
+	}
+}
+
+// BenchmarkDriveWindow measures one driven descriptor-fetch window over a
+// published population: the simnet hot path underneath both the trawl and
+// the deanonymisation experiments.
+func BenchmarkDriveWindow(b *testing.B) {
+	e := benchSetup(b)
+	fleet := relaynet.DefaultFleetConfig(6)
+	fleet.Days = 1
+	sim, err := relaynet.NewSim(fleet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := sim.Run(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := h.All()[0]
+	cfg := simnet.DefaultConfig(6)
+	cfg.Clients = 1000
+	net, err := simnet.NewNetwork(doc, e.geoDB, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := doc.ValidAfter
+	net.PublishAll(e.pop, now)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := net.DriveWindow(e.pop, now, 2*time.Hour, nil)
+		if st.TotalRequests == 0 {
+			b.Fatal("no traffic driven")
+		}
 	}
 }
 

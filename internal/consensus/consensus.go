@@ -101,11 +101,12 @@ type Document struct {
 
 // docIndex holds the lazily-built immutable per-document indexes.
 type docIndex struct {
-	hsdirs []onion.Fingerprint
-	guards []onion.Fingerprint
-	byFP   map[onion.Fingerprint]int32
-	ring   *hsdir.Ring
-	avgGap onion.RingInt
+	hsdirs  []onion.Fingerprint
+	guards  []onion.Fingerprint
+	byFP    map[onion.Fingerprint]int32
+	ring    *hsdir.Ring
+	ringPos map[onion.Fingerprint]int32
+	avgGap  onion.RingInt
 }
 
 func (d *Document) index() *docIndex {
@@ -124,6 +125,10 @@ func (d *Document) index() *docIndex {
 			}
 		}
 		ix.ring = hsdir.NewRing(ix.hsdirs)
+		ix.ringPos = make(map[onion.Fingerprint]int32, ix.ring.Len())
+		for i, fp := range ix.ring.Fingerprints() {
+			ix.ringPos[fp] = int32(i)
+		}
 		ix.avgGap = ix.ring.AverageGap()
 	})
 	return &d.idx
@@ -145,6 +150,17 @@ func (d *Document) Ring() *hsdir.Ring { return d.index().ring }
 // AverageGap returns the cached mean inter-fingerprint gap of the
 // document's HSDir ring.
 func (d *Document) AverageGap() onion.RingInt { return d.index().avgGap }
+
+// HSDirRingPos returns the position of fingerprint f on the document's
+// HSDir ring (the index into Ring().Fingerprints()), if f carries the
+// HSDir flag. Consumers that keep per-HSDir state in dense ring-ordered
+// arrays — the simnet descriptor directories — resolve fingerprints to
+// integer relay handles through this cached table exactly once instead
+// of keying their own maps.
+func (d *Document) HSDirRingPos(f onion.Fingerprint) (int32, bool) {
+	i, ok := d.index().ringPos[f]
+	return i, ok
+}
 
 // Lookup returns the entry for fingerprint f, if present. The cached
 // fingerprint table makes the lookup O(1) and allocation-free.

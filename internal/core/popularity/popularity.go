@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"torhs/internal/hsdir"
 	"torhs/internal/onion"
 	"torhs/internal/parallel"
 )
@@ -108,6 +109,21 @@ func BuildIndexWorkers(
 	from, to time.Time,
 	workers int,
 ) (*Index, error) {
+	return BuildIndexTable(services, from, to, workers, nil)
+}
+
+// BuildIndexTable is BuildIndexWorkers with an externally shared
+// secret-id-part table (nil builds a fresh one for the window). The
+// experiments Env passes its study-wide table so index construction
+// reuses the secret parts the simulation substrate already computed;
+// periods outside the table fall back to direct derivation, so any table
+// yields an identical index.
+func BuildIndexTable(
+	services map[onion.Address]onion.PermanentID,
+	from, to time.Time,
+	workers int,
+	table *onion.SecretIDTable,
+) (*Index, error) {
 	if to.Before(from) {
 		return nil, fmt.Errorf("popularity: window end %v before start %v", to, from)
 	}
@@ -121,7 +137,9 @@ func BuildIndexWorkers(
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 
-	table := onion.NewSecretIDTable(from, to)
+	if table == nil {
+		table = onion.NewSecretIDTable(from, to)
+	}
 	shards := make([]*Index, parallel.NumChunks(workers, len(addrs)))
 	parallel.Chunks(workers, len(addrs), func(shard, lo, hi int) {
 		t := newIndexTable((hi-lo)*perService, addrs)
@@ -195,16 +213,34 @@ type Resolution struct {
 func Resolve(counts map[onion.DescriptorID]int, ix *Index) *Resolution {
 	res := &Resolution{PerAddress: make(map[onion.Address]int)}
 	for id, n := range counts {
-		res.TotalRequests += n
-		res.UniqueIDs++
-		if addr, ok := ix.Resolve(id); ok {
-			res.ResolvedIDs++
-			res.ResolvedRequests += n
-			res.PerAddress[addr] += n
-		}
+		res.addCount(id, n, ix)
 	}
 	res.ResolvedAddresses = len(res.PerAddress)
 	return res
+}
+
+// ResolveLog joins a directory request log with the index, iterating the
+// log's per-ID counts in place instead of copying them into a map first
+// (the zero-copy sibling of Resolve over RequestLog.CountsByID). Output
+// is identical to Resolve.
+func ResolveLog(log *hsdir.RequestLog, ix *Index) *Resolution {
+	res := &Resolution{PerAddress: make(map[onion.Address]int)}
+	log.EachCount(func(id onion.DescriptorID, n int) {
+		res.addCount(id, n, ix)
+	})
+	res.ResolvedAddresses = len(res.PerAddress)
+	return res
+}
+
+// addCount folds one per-descriptor-ID request count into the resolution.
+func (res *Resolution) addCount(id onion.DescriptorID, n int, ix *Index) {
+	res.TotalRequests += n
+	res.UniqueIDs++
+	if addr, ok := ix.Resolve(id); ok {
+		res.ResolvedIDs++
+		res.ResolvedRequests += n
+		res.PerAddress[addr] += n
+	}
 }
 
 // ResolveBruteForce is the ablation baseline: no index — every requested

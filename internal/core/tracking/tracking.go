@@ -136,7 +136,19 @@ type Report struct {
 // Analyzer applies the Section VII rules.
 type Analyzer struct {
 	cfg Config
+
+	// secrets optionally shares precomputed rend-spec secret-id-parts
+	// for the target's per-day descriptor-ID derivations (set via
+	// SetSecretTable; the experiments Env passes its shared table).
+	// Derivations outside the table fall back to direct computation.
+	secrets *onion.SecretIDTable
 }
+
+// SetSecretTable shares a precomputed secret-id-part table with the
+// analyzer, so the per-consensus descriptor-ID derivations reuse secrets
+// other pipeline stages already computed. A nil table reverts to direct
+// derivation.
+func (a *Analyzer) SetSecretTable(t *onion.SecretIDTable) { a.secrets = t }
 
 // NewAnalyzer validates the configuration.
 func NewAnalyzer(cfg Config) (*Analyzer, error) {
@@ -360,7 +372,12 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 		}
 
 		day := doc.ValidAfter.Unix() / 86400
-		ids := onion.DescriptorIDs(target, doc.ValidAfter)
+		var ids [onion.Replicas]onion.DescriptorID
+		if a.secrets != nil {
+			ids = a.secrets.DescriptorIDsAt(target, doc.ValidAfter)
+		} else {
+			ids = onion.DescriptorIDs(target, doc.ValidAfter)
+		}
 		for replica, descID := range ids {
 			respBuf = ring.ResponsibleInto(respBuf[:0], descID, onion.SpreadPerReplica)
 			for _, fp := range respBuf {

@@ -49,6 +49,12 @@ type Config struct {
 	// directory read-out across goroutines (<= 0: one per CPU). Results
 	// are identical at every worker count.
 	Workers int
+	// SecretTable optionally shares precomputed rend-spec
+	// secret-id-parts across every per-step network (descriptor
+	// placement and fetch-traffic derivation). The experiments Env
+	// passes one study-wide table; nil lets each step's network build
+	// its own.
+	SecretTable *onion.SecretIDTable
 }
 
 // DefaultConfig mirrors the paper's deployment at simulation scale.
@@ -212,6 +218,7 @@ func (t *Trawler) Run(
 		cfg := t.cfg.ClientConfig
 		cfg.Seed = cfg.Seed*1000003 + int64(step) // fresh but deterministic per step
 		cfg.Workers = t.cfg.Workers
+		cfg.SecretTable = t.cfg.SecretTable
 		net, err := simnet.NewNetwork(doc, db, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("trawl: step %d: %w", step, err)
@@ -284,24 +291,25 @@ func (r *readout) init() {
 }
 
 // readDirectory harvests one attacker-operated directory into the shard
-// tally.
+// tally, iterating the store in place (no snapshot copies: the visitor
+// variants of All/PublishedIDs/RequestedPublishedIDs).
 func (t *Trawler) readDirectory(net *simnet.Network, fp onion.Fingerprint, out *readout) {
 	dir, ok := net.Directory(fp)
 	if !ok {
 		return
 	}
-	for _, desc := range dir.All() {
+	dir.Each(func(desc *onion.Descriptor) {
 		out.descriptorsSeen++
 		out.permIDs[desc.Address] = desc.PermID
-	}
-	for _, id := range dir.PublishedIDs() {
+	})
+	dir.EachPublishedID(func(id onion.DescriptorID) {
 		out.publishedIDs[id] = true
-	}
+	})
 	if t.cfg.DriveTraffic {
 		out.logs = append(out.logs, dir.Log())
-		for _, id := range dir.RequestedPublishedIDs() {
+		dir.EachRequestedPublishedID(func(id onion.DescriptorID) {
 			out.requestedPublished[id] = true
-		}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"torhs/internal/consensus"
 	"torhs/internal/darknet"
@@ -59,6 +60,7 @@ type Env struct {
 	sims      map[int64]*memo[*relaynet.Sim]
 	docs      map[int64]*memo[*consensus.Document]
 	artefacts map[string]*memo[Artefact]
+	secrets   map[[2]int64]*memo[*onion.SecretIDTable]
 }
 
 // NewEnv validates the configuration and returns an empty environment.
@@ -79,6 +81,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		sims:      make(map[int64]*memo[*relaynet.Sim]),
 		docs:      make(map[int64]*memo[*consensus.Document]),
 		artefacts: make(map[string]*memo[Artefact]),
+		secrets:   make(map[[2]int64]*memo[*onion.SecretIDTable]),
 	}, nil
 }
 
@@ -168,6 +171,36 @@ func (e *Env) Consensus(offset int64) (*consensus.Document, error) {
 		}
 		return h.All()[0], nil
 	})
+}
+
+// SecretTable returns the memoized rend-spec secret-id-part table for
+// the window [from, to]. Tables are pure functions of the window (no
+// inputs beyond the calendar), immutable once built, and never
+// invalidated within a run; any number of experiments may share one. The
+// simnet networks, the trawling fleet, the popularity index, and the
+// tracking analyzer all draw from here instead of recomputing the same
+// SHA-1 secret parts per consumer.
+func (e *Env) SecretTable(from, to time.Time) *onion.SecretIDTable {
+	key := [2]int64{from.Unix(), to.Unix()}
+	e.mu.Lock()
+	m, ok := e.secrets[key]
+	if !ok {
+		m = &memo[*onion.SecretIDTable]{}
+		e.secrets[key] = m
+	}
+	e.mu.Unlock()
+	t, _ := m.get(func() (*onion.SecretIDTable, error) {
+		return onion.NewSecretIDTable(from, to), nil
+	})
+	return t
+}
+
+// studySecretTable returns the shared table covering every window the
+// traffic experiments touch: the fleet's first days plus the popularity
+// resolution window and the maximum client clock skew on either side.
+func (e *Env) studySecretTable() *onion.SecretIDTable {
+	base := relaynet.DefaultFleetConfig(e.cfg.Seed).Start
+	return e.SecretTable(base.Add(-9*24*time.Hour), base.Add(13*24*time.Hour))
 }
 
 // Dep returns the artefact a dependency produced earlier in this run.

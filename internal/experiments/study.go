@@ -200,6 +200,7 @@ func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, err
 	tCfg.IPs = e.cfg.TrawlIPs
 	tCfg.Steps = e.cfg.TrawlSteps
 	tCfg.Workers = e.cfg.Workers
+	tCfg.SecretTable = e.studySecretTable()
 	if driveTraffic {
 		tCfg.ClientConfig.Clients = e.cfg.Clients
 	} else {
@@ -352,12 +353,13 @@ func (e *Env) runPopularity() (*PopularityResult, error) {
 
 	// Resolve over a ±days window, as the paper does (28 Jan – 8 Feb).
 	start := relaynet.DefaultFleetConfig(e.cfg.Seed).Start.Add(48 * time.Hour)
-	ix, err := popularity.BuildIndexWorkers(harvest.PermIDs,
-		start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour), e.cfg.Workers)
+	ix, err := popularity.BuildIndexTable(harvest.PermIDs,
+		start.Add(-7*24*time.Hour), start.Add(7*24*time.Hour), e.cfg.Workers,
+		e.studySecretTable())
 	if err != nil {
 		return nil, err
 	}
-	res := popularity.Resolve(harvest.Log.CountsByID(), ix)
+	res := popularity.ResolveLog(harvest.Log, ix)
 	ranking := popularity.Rank(res, func(a onion.Address) string {
 		if svc, ok := pop.ByAddress(a); ok {
 			return svc.Label
@@ -397,6 +399,7 @@ func (e *Env) runDeanon() (*deanon.Report, error) {
 	netCfg := simnet.DefaultConfig(e.cfg.Seed)
 	netCfg.Clients = e.cfg.Clients
 	netCfg.Workers = e.cfg.Workers
+	netCfg.SecretTable = e.studySecretTable()
 	net, err := simnet.NewNetwork(doc, geoDB, netCfg)
 	if err != nil {
 		return nil, err
@@ -448,6 +451,7 @@ func (e *Env) runServiceDeanon() (*deanon.ServiceReport, error) {
 	netCfg := simnet.DefaultConfig(e.cfg.Seed)
 	netCfg.Clients = 10 // client traffic is irrelevant here
 	netCfg.Workers = e.cfg.Workers
+	netCfg.SecretTable = e.studySecretTable()
 	net, err := simnet.NewNetwork(doc, geoDB, netCfg)
 	if err != nil {
 		return nil, err
@@ -497,8 +501,11 @@ func (e *Env) runTracking() (*TrackingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start,
-		sc.Start.Add(time.Duration(scCfg.Days)*24*time.Hour))
+	// The tracking window is disjoint from the traffic experiments', so
+	// it gets its own memoized table rather than the study-wide one.
+	end := sc.Start.Add(time.Duration(scCfg.Days) * 24 * time.Hour)
+	an.SetSecretTable(e.SecretTable(sc.Start, end))
+	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, end)
 	if err != nil {
 		return nil, err
 	}

@@ -20,31 +20,74 @@ type Request struct {
 // RequestLog accumulates descriptor fetches. It is safe for concurrent
 // use and supports merging, since the trawling attack aggregates logs from
 // many attacker-operated directories.
+//
+// Recording is append-only: the per-descriptor-ID count map is built
+// lazily on the first aggregate query and maintained incrementally from
+// then on, so the recording hot path (one bulk RecordBatch per driven
+// window per directory) never pays a map operation per request.
 type RequestLog struct {
 	mu       sync.Mutex
 	requests []Request
-	perID    map[onion.DescriptorID]int
 	found    int
+	// perID is the lazily built per-descriptor-ID request count; nil
+	// means "not built yet" (rebuilt on demand by countsLocked).
+	perID map[onion.DescriptorID]int
 }
 
 // NewRequestLog returns an empty log.
 func NewRequestLog() *RequestLog {
-	return &RequestLog{perID: make(map[onion.DescriptorID]int)}
+	return &RequestLog{}
 }
 
 func (l *RequestLog) record(r Request) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.requests = append(l.requests, r)
-	l.perID[r.DescID]++
 	if r.Found {
 		l.found++
+	}
+	if l.perID != nil {
+		l.perID[r.DescID]++
 	}
 }
 
 // Record appends a request observation. Exposed for components (such as
 // the simnet client driver) that observe fetches outside a Directory.
 func (l *RequestLog) Record(r Request) { l.record(r) }
+
+// RecordBatch appends a batch of request observations, taking the lock
+// exactly once. This is how DriveWindow merges a window's per-worker
+// shard buffers into the per-directory logs: fetches record lock-free
+// into local buffers during the window and land here in one append.
+// With sufficient spare capacity the call performs zero heap allocations.
+func (l *RequestLog) RecordBatch(batch []Request) {
+	if len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests = append(l.requests, batch...)
+	for i := range batch {
+		if batch[i].Found {
+			l.found++
+		}
+		if l.perID != nil {
+			l.perID[batch[i].DescID]++
+		}
+	}
+}
+
+// countsLocked returns the per-ID count map, building it on first use.
+// Callers must hold l.mu.
+func (l *RequestLog) countsLocked() map[onion.DescriptorID]int {
+	if l.perID == nil {
+		l.perID = make(map[onion.DescriptorID]int, len(l.requests))
+		for i := range l.requests {
+			l.perID[l.requests[i].DescID]++
+		}
+	}
+	return l.perID
+}
 
 // Total returns the total number of requests.
 func (l *RequestLog) Total() int {
@@ -57,7 +100,7 @@ func (l *RequestLog) Total() int {
 func (l *RequestLog) UniqueIDs() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.perID)
+	return len(l.countsLocked())
 }
 
 // FoundFraction returns the fraction of requests that hit a stored
@@ -72,14 +115,27 @@ func (l *RequestLog) FoundFraction() float64 {
 }
 
 // CountsByID returns a copy of the per-descriptor-ID request counts.
+// Callers that only iterate should prefer the zero-copy EachCount.
 func (l *RequestLog) CountsByID() map[onion.DescriptorID]int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make(map[onion.DescriptorID]int, len(l.perID))
-	for id, n := range l.perID {
+	counts := l.countsLocked()
+	out := make(map[onion.DescriptorID]int, len(counts))
+	for id, n := range counts {
 		out[id] = n
 	}
 	return out
+}
+
+// EachCount visits the per-descriptor-ID request counts without copying
+// the map, in unspecified order. The log's lock is held for the whole
+// iteration; fn must not call back into the log.
+func (l *RequestLog) EachCount(fn func(id onion.DescriptorID, n int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, n := range l.countsLocked() {
+		fn(id, n)
+	}
 }
 
 // Requests returns a copy of all recorded requests in arrival order.
@@ -91,30 +147,25 @@ func (l *RequestLog) Requests() []Request {
 	return out
 }
 
-// Merge folds other's requests into l with one bulk append and a map
-// fold, taking each log's lock exactly once. The other log is left
-// unchanged.
+// Merge folds other's requests into l with one bulk append, taking each
+// log's lock exactly once. The other log is left unchanged.
 func (l *RequestLog) Merge(other *RequestLog) {
 	if other == nil || other == l {
 		return
 	}
 	// Snapshot under other's lock only, so the two locks are never held
-	// together (no ordering to deadlock on).
+	// together (no ordering to deadlock on). The per-ID counts need no
+	// copying: the destination rebuilds its lazy map from the merged
+	// request list on the next aggregate query.
 	other.mu.Lock()
 	requests := make([]Request, len(other.requests))
 	copy(requests, other.requests)
-	perID := make(map[onion.DescriptorID]int, len(other.perID))
-	for id, n := range other.perID {
-		perID[id] = n
-	}
 	found := other.found
 	other.mu.Unlock()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.requests = append(l.requests, requests...)
-	for id, n := range perID {
-		l.perID[id] += n
-	}
 	l.found += found
+	l.perID = nil // cheaper to rebuild once than to fold map into map
 }

@@ -5,6 +5,7 @@
 package hsdir
 
 import (
+	"encoding/binary"
 	"sort"
 	"time"
 
@@ -16,6 +17,11 @@ import (
 // the descriptor ID (wrapping at the top of the SHA-1 space).
 type Ring struct {
 	fps []onion.Fingerprint
+	// hi caches the leading 8 bytes of every fingerprint as a big-endian
+	// word, so the binary search touches one dense uint64 array instead of
+	// scattered 20-byte keys; fingerprints are uniform SHA-1 outputs, so
+	// the prefix almost always decides the comparison on its own.
+	hi []uint64
 }
 
 // NewRing builds a ring from the given fingerprints, sorting and
@@ -30,7 +36,40 @@ func NewRing(fps []onion.Fingerprint) *Ring {
 			dedup = append(dedup, f)
 		}
 	}
-	return &Ring{fps: dedup}
+	hi := make([]uint64, len(dedup))
+	for i := range dedup {
+		hi[i] = binary.BigEndian.Uint64(dedup[i][:8])
+	}
+	return &Ring{fps: dedup, hi: hi}
+}
+
+// search returns the index of the first fingerprint > d on the ring
+// (len(fps) if none is). Hand-rolled binary search over the prefix
+// array: a closure passed to sort.Search would defeat the
+// zero-allocation guarantee, and the dense uint64 prefixes decide almost
+// every probe without loading the full 20-byte fingerprint.
+func (r *Ring) search(d onion.DescriptorID) int {
+	dHi := binary.BigEndian.Uint64(d[:8])
+	dAsFP := onion.Fingerprint(d)
+	lo, hi := 0, len(r.fps)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		var less bool
+		switch {
+		case dHi < r.hi[m]:
+			less = true
+		case dHi > r.hi[m]:
+			less = false
+		default:
+			less = dAsFP.Less(r.fps[m])
+		}
+		if less {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
 }
 
 // Len returns the number of distinct fingerprints on the ring.
@@ -65,20 +104,28 @@ func (r *Ring) ResponsibleInto(dst []onion.Fingerprint, d onion.DescriptorID, sp
 	if spread > len(r.fps) {
 		spread = len(r.fps)
 	}
-	// Hand-rolled binary search for the first fingerprint > d: a closure
-	// passed to sort.Search would defeat the zero-allocation guarantee.
-	dAsFP := onion.Fingerprint(d)
-	lo, hi := 0, len(r.fps)
-	for lo < hi {
-		m := int(uint(lo+hi) >> 1)
-		if dAsFP.Less(r.fps[m]) {
-			hi = m
-		} else {
-			lo = m + 1
-		}
-	}
+	lo := r.search(d)
 	for i := 0; i < spread; i++ {
 		dst = append(dst, r.fps[(lo+i)%len(r.fps)])
+	}
+	return dst
+}
+
+// ResponsibleIndicesInto appends the ring positions (indexes into
+// Fingerprints()) of the spread relays following d to dst and returns it.
+// Callers that keep per-relay state in dense ring-ordered arrays — the
+// simnet directory stores — resolve a descriptor ID straight to integer
+// relay handles with zero per-call allocations and no map lookups.
+func (r *Ring) ResponsibleIndicesInto(dst []int32, d onion.DescriptorID, spread int) []int32 {
+	if len(r.fps) == 0 {
+		return dst
+	}
+	if spread > len(r.fps) {
+		spread = len(r.fps)
+	}
+	lo := r.search(d)
+	for i := 0; i < spread; i++ {
+		dst = append(dst, int32((lo+i)%len(r.fps)))
 	}
 	return dst
 }

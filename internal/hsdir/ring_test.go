@@ -168,3 +168,33 @@ func TestQuickResponsibleInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestResponsibleIndicesMatchFingerprints pins the handle-based lookup to
+// the fingerprint-based one: position i must always name the same relay.
+func TestResponsibleIndicesMatchFingerprints(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 7, 400} {
+		fps := make([]onion.Fingerprint, n)
+		for i := range fps {
+			fps[i] = onion.RandomFingerprint(rng)
+		}
+		ring := NewRing(fps)
+		ringFPs := ring.Fingerprints()
+		for trial := 0; trial < 200; trial++ {
+			f := onion.RandomFingerprint(rng)
+			var id onion.DescriptorID
+			copy(id[:], f[:])
+			want := ring.Responsible(id, onion.SpreadPerReplica)
+			got := ring.ResponsibleIndicesInto(nil, id, onion.SpreadPerReplica)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: len mismatch %d vs %d", n, len(got), len(want))
+			}
+			for i := range got {
+				if ringFPs[got[i]] != want[i] {
+					t.Fatalf("n=%d: position %d resolves to %x, want %x",
+						n, got[i], ringFPs[got[i]], want[i])
+				}
+			}
+		}
+	}
+}

@@ -5,12 +5,15 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"torhs/internal/corpus"
 	"torhs/internal/onion"
 )
 
-// Population is a generated hidden-service landscape.
+// Population is a generated hidden-service landscape. Populations are
+// immutable once generated, so derived views (the popularity ordering)
+// are cached lazily and shared by every caller.
 type Population struct {
 	// Services lists every service, head entries first.
 	Services []*Service
@@ -18,6 +21,9 @@ type Population struct {
 	Config Config
 
 	byAddr map[onion.Address]*Service
+
+	popularOnce sync.Once
+	popular     []*Service
 }
 
 // Generate builds a population from cfg. Generation is deterministic in
@@ -29,11 +35,18 @@ func Generate(cfg Config) (*Population, error) {
 	if cfg.PhantomRequestFraction < 0 || cfg.PhantomRequestFraction >= 1 {
 		return nil, fmt.Errorf("hspop: phantom fraction %v out of [0,1)", cfg.PhantomRequestFraction)
 	}
+	estimate := estimatedServices(cfg)
 	g := &generator{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
-		pop: &Population{Config: cfg, byAddr: make(map[onion.Address]*Service)},
+		pop: &Population{
+			Config:   cfg,
+			Services: make([]*Service, 0, estimate),
+			byAddr:   make(map[onion.Address]*Service, estimate),
+		},
 	}
+	g.svcArena.chunk = estimate
+	g.pageArena.chunk = estimate
 	g.miscPorts = g.pickMiscPorts()
 	g.buildHead()
 	g.buildPhishingClones()
@@ -44,18 +57,80 @@ func Generate(cfg Config) (*Population, error) {
 	return g.pop, nil
 }
 
+// estimatedServices predicts the population size from the configuration,
+// so the generator can pre-size its arenas and the Services slice instead
+// of growing them service by service. Phishing-clone dedup may land the
+// real count slightly below the estimate; the chunked arenas tolerate
+// either direction.
+func estimatedServices(cfg Config) int {
+	n := len(TableIIHead()) + cfg.PhishingClones + 1
+	n += cfg.scaled(cfg.SkynetBots, 5)
+	n += cfg.scaled(cfg.Web80Only, 5)
+	n += cfg.scaled(cfg.WebBoth, 3)
+	n += cfg.scaled(cfg.Web443Only, 2)
+	n += cfg.scaled(cfg.SSHOnly, 3)
+	n += cfg.scaled(cfg.TorChat, 2)
+	n += cfg.scaled(cfg.IRC, 1)
+	n += cfg.scaled(cfg.P4050, 1)
+	n += cfg.scaled(cfg.Misc, 4)
+	n += cfg.scaled(cfg.Dark, 2)
+	n += cfg.scaled(cfg.Dead, 5)
+	return n
+}
+
+// arena hands out pointers into pre-sized chunks so the generator
+// performs one bulk allocation per ~population instead of one per
+// service. Chunks are never reallocated once handed out, so every
+// pointer stays valid even if the population outgrows the estimate.
+type arena[T any] struct {
+	chunk int
+	buf   []T
+}
+
+func (a *arena[T]) take() *T {
+	if len(a.buf) == cap(a.buf) {
+		if a.chunk < 16 {
+			a.chunk = 16
+		}
+		a.buf = make([]T, 0, a.chunk)
+	}
+	a.buf = append(a.buf, *new(T))
+	return &a.buf[len(a.buf)-1]
+}
+
 type generator struct {
 	cfg       Config
 	rng       *rand.Rand
 	pop       *Population
 	seq       int
 	miscPorts []int
+
+	svcArena  arena[Service]
+	pageArena arena[Page]
 }
+
+// newPage allocates a page from the arena and initialises it with p.
+func (g *generator) newPage(p Page) *Page {
+	out := g.pageArena.take()
+	*out = p
+	return out
+}
+
+// Shared HTTP-port singletons for the fixed port layouts: the slices are
+// never mutated after generation, so every service with the same layout
+// can alias one backing array.
+var (
+	portsHTTPOnly  = []int{PortHTTP}
+	portsHTTPSOnly = []int{PortHTTPS}
+	portsDualStack = []int{PortHTTP, PortHTTPS}
+	portsSSHOnly   = []int{PortSSH}
+)
 
 func (g *generator) newService(kind Kind) *Service {
 	key := onion.GenerateKey(g.rng)
 	id := key.PermanentID()
-	s := &Service{
+	s := g.svcArena.take()
+	*s = Service{
 		Seq:     g.seq,
 		Key:     key,
 		Address: onion.AddressFromID(id),
@@ -104,25 +179,25 @@ func (g *generator) buildHead() {
 			// Port 80 open, 503 responses, server-status exposed. The
 			// fabric special-cases Goldnet; no page content.
 			s.Ports[PortHTTP] = PortOpen
-			s.HTTPPorts = []int{PortHTTP}
+			s.HTTPPorts = portsHTTPOnly
 		case KindSkynetCC:
 			s.Ports[PortSkynet] = PortAbnormal
 		case KindBitcoinMine:
 			s.Ports[PortHTTP] = PortOpen
-			s.HTTPPorts = []int{PortHTTP}
-			s.Page = &Page{
+			s.HTTPPorts = portsHTTPOnly
+			s.Page = g.newPage(Page{
 				Language:  corpus.LangEnglish,
 				Topic:     corpus.TopicServices,
 				WordCount: 40 + g.rng.Intn(60),
-			}
+			})
 		case KindWeb:
 			s.Ports[PortHTTP] = PortOpen
-			s.HTTPPorts = []int{PortHTTP}
-			s.Page = &Page{
+			s.HTTPPorts = portsHTTPOnly
+			s.Page = g.newPage(Page{
 				Language:  corpus.LangEnglish,
 				Topic:     e.Topic,
 				WordCount: 100 + g.rng.Intn(300),
-			}
+			})
 		}
 	}
 }
@@ -162,7 +237,8 @@ func (g *generator) buildPhishingClones() {
 		if _, dup := g.pop.byAddr[addr]; dup {
 			continue
 		}
-		s := &Service{
+		s := g.svcArena.take()
+		*s = Service{
 			Seq:              g.seq,
 			Key:              nil, // prefix-mined; no real key material
 			Address:          addr,
@@ -170,7 +246,7 @@ func (g *generator) buildPhishingClones() {
 			Kind:             KindWeb,
 			Label:            label,
 			Ports:            map[int]PortState{PortHTTP: PortOpen},
-			HTTPPorts:        []int{PortHTTP},
+			HTTPPorts:        portsHTTPOnly,
 			DescriptorAtScan: true,
 			OpenAtCrawl:      true,
 		}
@@ -178,11 +254,11 @@ func (g *generator) buildPhishingClones() {
 		if label == "SilkRoad(phish)" {
 			topic = corpus.TopicCounterfeit // fake login pages harvest credentials
 		}
-		s.Page = &Page{
+		s.Page = g.newPage(Page{
 			Language:  corpus.LangEnglish,
 			Topic:     topic,
 			WordCount: 60 + g.rng.Intn(120),
-		}
+		})
 		g.seq++
 		g.pop.Services = append(g.pop.Services, s)
 		g.pop.byAddr[s.Address] = s
@@ -204,7 +280,7 @@ func (g *generator) buildBody() {
 		s := g.newService(KindWeb)
 		s.DescriptorAtScan = true
 		s.Ports[PortHTTP] = PortOpen
-		s.HTTPPorts = []int{PortHTTP}
+		s.HTTPPorts = portsHTTPOnly
 		s.Page = g.samplePage(false)
 		s.OpenAtCrawl = g.rng.Float64() < cfg.SurviveWeb80
 	}
@@ -214,7 +290,7 @@ func (g *generator) buildBody() {
 		s.DescriptorAtScan = true
 		s.Ports[PortHTTP] = PortOpen
 		s.Ports[PortHTTPS] = PortOpen
-		s.HTTPPorts = []int{PortHTTP, PortHTTPS}
+		s.HTTPPorts = portsDualStack
 		s.Page = g.sampleDualPage()
 		s.Page.DupOn443 = true
 		s.OpenAtCrawl = g.rng.Float64() < cfg.SurviveWeb443
@@ -224,7 +300,7 @@ func (g *generator) buildBody() {
 		s := g.newService(KindWeb)
 		s.DescriptorAtScan = true
 		s.Ports[PortHTTPS] = PortOpen
-		s.HTTPPorts = []int{PortHTTPS}
+		s.HTTPPorts = portsHTTPSOnly
 		s.Page = g.samplePage(false)
 		s.OpenAtCrawl = g.rng.Float64() < cfg.SurviveWeb443
 	}
@@ -234,12 +310,12 @@ func (g *generator) buildBody() {
 		s := g.newService(KindSSH)
 		s.DescriptorAtScan = true
 		s.Ports[PortSSH] = PortOpen
-		s.HTTPPorts = []int{PortSSH} // banner is readable over a raw probe
+		s.HTTPPorts = portsSSHOnly // banner is readable over a raw probe
 		wc := 4 + g.rng.Intn(10)
 		if g.rng.Float64() < longSSHProb {
 			wc = 25 + g.rng.Intn(20)
 		}
-		s.Page = &Page{Language: corpus.LangEnglish, Topic: corpus.TopicOther, WordCount: wc}
+		s.Page = g.newPage(Page{Language: corpus.LangEnglish, Topic: corpus.TopicOther, WordCount: wc})
 		s.OpenAtCrawl = g.rng.Float64() < cfg.SurviveSSH
 	}
 
@@ -313,36 +389,36 @@ func (g *generator) sampleDualPage() *Page {
 	r := g.rng.Float64()
 	switch {
 	case r < 0.05:
-		return &Page{
+		return g.newPage(Page{
 			Language:  corpus.LangEnglish,
 			Topic:     corpus.TopicOther,
 			WordCount: 3 + g.rng.Intn(17),
-		}
+		})
 	case r < 0.06:
-		return &Page{
+		return g.newPage(Page{
 			Language:  corpus.LangEnglish,
 			Topic:     corpus.TopicOther,
 			WordCount: 25 + g.rng.Intn(20),
 			ErrorPage: true,
-		}
+		})
 	case r < 0.51:
-		return &Page{
+		return g.newPage(Page{
 			Language:       corpus.LangEnglish,
 			Topic:          corpus.TopicAnonymity,
 			WordCount:      120,
 			TorhostDefault: true,
-		}
+		})
 	}
 	lang := corpus.LangEnglish
 	if g.rng.Float64() >= g.cfg.EnglishFrac {
 		others := corpus.Languages()[1:]
 		lang = others[g.rng.Intn(len(others))]
 	}
-	return &Page{
+	return g.newPage(Page{
 		Language:  lang,
 		Topic:     g.sampleTopic(),
 		WordCount: 50 + g.rng.Intn(450),
-	}
+	})
 }
 
 // samplePage draws page attributes from the calibrated category mix.
@@ -351,36 +427,36 @@ func (g *generator) samplePage(forceEnglish bool) *Page {
 	r := g.rng.Float64()
 	switch {
 	case r < cfg.PageShortFrac:
-		return &Page{
+		return g.newPage(Page{
 			Language:  corpus.LangEnglish,
 			Topic:     corpus.TopicOther,
 			WordCount: 3 + g.rng.Intn(17),
-		}
+		})
 	case r < cfg.PageShortFrac+cfg.PageErrorFrac:
-		return &Page{
+		return g.newPage(Page{
 			Language:  corpus.LangEnglish,
 			Topic:     corpus.TopicOther,
 			WordCount: 25 + g.rng.Intn(20),
 			ErrorPage: true,
-		}
+		})
 	case r < cfg.PageShortFrac+cfg.PageErrorFrac+cfg.PageTorhostDefaultFrac:
-		return &Page{
+		return g.newPage(Page{
 			Language:       corpus.LangEnglish,
 			Topic:          corpus.TopicAnonymity,
 			WordCount:      120,
 			TorhostDefault: true,
-		}
+		})
 	}
 	lang := corpus.LangEnglish
 	if !forceEnglish && g.rng.Float64() >= cfg.EnglishFrac {
 		others := corpus.Languages()[1:]
 		lang = others[g.rng.Intn(len(others))]
 	}
-	return &Page{
+	return g.newPage(Page{
 		Language:  lang,
 		Topic:     g.sampleTopic(),
 		WordCount: 50 + g.rng.Intn(450),
-	}
+	})
 }
 
 // sampleTopic draws a topic from the Fig. 2 distribution.
@@ -394,6 +470,19 @@ func (g *generator) sampleTopic() corpus.Topic {
 		}
 	}
 	return corpus.TopicOther
+}
+
+// operatorCN formats the leaked operator DNS name
+// "www.operatorNNNN.example.com" (NNNN zero-padded) by writing digits
+// into a stack buffer: one string allocation, none of fmt.Sprintf's
+// boxing and verb parsing.
+func operatorCN(n int) string {
+	b := []byte("www.operator0000.example.com")
+	for i := 15; i >= 12; i-- {
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b)
 }
 
 // assignCerts distributes the Section III certificate profiles over all
@@ -418,7 +507,7 @@ func (g *generator) assignCerts() {
 		case i < nTorHost+nLeak:
 			s.Cert = Cert{
 				Profile:    CertDNSLeak,
-				CommonName: fmt.Sprintf("www.operator%04d.example.com", g.rng.Intn(10000)),
+				CommonName: operatorCN(g.rng.Intn(10000)),
 				SelfSigned: true,
 			}
 		case i < nTorHost+nLeak+nMismatch:
@@ -570,19 +659,24 @@ func (p *Population) WithDescriptor() []*Service {
 }
 
 // PopularServices returns all services with a nonzero expected request
-// rate, most popular first.
+// rate, most popular first. The ordering is computed once per population
+// (every driven traffic window starts from it) and the returned slice
+// aliases the cache — callers must not mutate it.
 func (p *Population) PopularServices() []*Service {
-	out := make([]*Service, 0, len(p.Services))
-	for _, s := range p.Services {
-		if s.ExpectedRequests > 0 {
-			out = append(out, s)
+	p.popularOnce.Do(func() {
+		out := make([]*Service, 0, len(p.Services))
+		for _, s := range p.Services {
+			if s.ExpectedRequests > 0 {
+				out = append(out, s)
+			}
 		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ExpectedRequests != out[j].ExpectedRequests {
-			return out[i].ExpectedRequests > out[j].ExpectedRequests
-		}
-		return out[i].Seq < out[j].Seq
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].ExpectedRequests != out[j].ExpectedRequests {
+				return out[i].ExpectedRequests > out[j].ExpectedRequests
+			}
+			return out[i].Seq < out[j].Seq
+		})
+		p.popular = out
 	})
-	return out
+	return p.popular
 }

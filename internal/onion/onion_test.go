@@ -289,3 +289,36 @@ func TestQuickAddressInjective(t *testing.T) {
 		seen[addr] = true
 	}
 }
+
+// TestSecretIDTableDerivationsMatchDirect pins the table-backed
+// descriptor-ID derivations (inside and outside the table's window, where
+// they fall back to direct computation) to ComputeDescriptorID.
+func TestSecretIDTableDerivationsMatchDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	from := time.Date(2013, 2, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(5 * 24 * time.Hour)
+	table := NewSecretIDTable(from, to)
+	if !table.Covers(from, to) {
+		t.Fatal("table does not cover its own window")
+	}
+	if table.Covers(from.Add(-48*time.Hour), to) {
+		t.Fatal("table claims to cover instants before its window")
+	}
+	instants := []time.Time{
+		from, from.Add(36 * time.Hour), to, // inside
+		from.Add(-30 * 24 * time.Hour), to.Add(30 * 24 * time.Hour), // fallback
+	}
+	for i := 0; i < 50; i++ {
+		id := GenerateKey(rng).PermanentID()
+		for _, at := range instants {
+			for r := uint8(0); r < Replicas; r++ {
+				if got, want := table.DescriptorID(id, at, r), ComputeDescriptorID(id, at, r); got != want {
+					t.Fatalf("DescriptorID(%v, replica %d) diverges from direct derivation", at, r)
+				}
+			}
+			if got, want := table.DescriptorIDsAt(id, at), DescriptorIDs(id, at); got != want {
+				t.Fatalf("DescriptorIDsAt(%v) diverges from DescriptorIDs", at)
+			}
+		}
+	}
+}

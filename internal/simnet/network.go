@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"torhs/internal/consensus"
@@ -19,15 +20,29 @@ import (
 // Network wires a consensus snapshot, the HSDir ring with per-relay
 // descriptor stores, a guard pool, and a client population into one
 // drivable simulation.
+//
+// Directories are addressed by dense integer relay handles — positions on
+// the consensus HSDir ring — resolved once through the document's cached
+// lookup table, so the descriptor-fetch hot path runs entirely on slice
+// indexing: no fingerprint-keyed map is consulted per request.
 type Network struct {
 	rng *rand.Rand
 
+	doc        *consensus.Document
 	ring       *hsdir.Ring
-	dirs       map[onion.Fingerprint]*hsdir.Directory
+	ringFPs    []onion.Fingerprint // ring.Fingerprints(), cached
+	dirs       []*hsdir.Directory  // dirs[i] serves ringFPs[i]
 	guards     []onion.Fingerprint
 	pool       *guardPool
 	dirFailure float64
 	workers    int
+	maxSkew    time.Duration
+
+	// secrets shares the window's precomputed secret-id-parts across
+	// every descriptor-ID derivation (publish and fetch). Either injected
+	// via Config.SecretTable (the experiments Env shares one table across
+	// simnet, trawl, and tracking) or built lazily per driven window.
+	secrets *onion.SecretIDTable
 
 	geoDB   *geo.DB
 	clients []*Client
@@ -60,6 +75,14 @@ type Config struct {
 	// request's index in the traffic plan, so the driven window is
 	// byte-identical at every worker count.
 	Workers int
+	// SecretTable optionally shares precomputed rend-spec
+	// secret-id-parts across every descriptor-ID derivation the network
+	// performs. Derivations outside the table's window fall back to
+	// direct computation, so any table is correct; the experiments Env
+	// passes one study-wide table so simnet, trawl, and the popularity
+	// index never recompute the same secret parts. Nil means the network
+	// builds a table per driven window on its own.
+	SecretTable *onion.SecretIDTable
 }
 
 // DefaultConfig returns a client population sized for tests and examples.
@@ -94,18 +117,22 @@ func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, erro
 	}
 	n := &Network{
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+		doc: doc,
 		// The ring is cached on the document: every network (and analysis)
 		// over the same consensus shares one sorted ring.
 		ring:       doc.Ring(),
-		dirs:       make(map[onion.Fingerprint]*hsdir.Directory, len(hsdirs)),
 		guards:     guards,
 		geoDB:      db,
 		hosts:      make(map[onion.Address]*Host),
 		dirFailure: cfg.DirFailureProb,
 		workers:    cfg.Workers,
+		maxSkew:    cfg.MaxSkew,
+		secrets:    cfg.SecretTable,
 	}
-	for _, fp := range hsdirs {
-		n.dirs[fp] = hsdir.NewDirectory(fp, 24*time.Hour)
+	n.ringFPs = n.ring.Fingerprints()
+	n.dirs = make([]*hsdir.Directory, len(n.ringFPs))
+	for i, fp := range n.ringFPs {
+		n.dirs[i] = hsdir.NewDirectory(fp, 24*time.Hour)
 	}
 	if cfg.WeightedGuards {
 		weights := make([]int, len(guards))
@@ -136,14 +163,19 @@ func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, erro
 func (n *Network) Ring() *hsdir.Ring { return n.ring }
 
 // Directory returns the descriptor store of the relay with fingerprint
-// fp.
+// fp, resolved through the consensus document's cached ring-position
+// table.
 func (n *Network) Directory(fp onion.Fingerprint) (*hsdir.Directory, bool) {
-	d, ok := n.dirs[fp]
-	return d, ok
+	if i, ok := n.doc.HSDirRingPos(fp); ok {
+		return n.dirs[i], true
+	}
+	return nil, false
 }
 
-// Directories returns all descriptor stores keyed by fingerprint.
-func (n *Network) Directories() map[onion.Fingerprint]*hsdir.Directory { return n.dirs }
+// Directories returns all descriptor stores in ring order: Directories()[i]
+// serves Ring().Fingerprints()[i]. The slice aliases the network; callers
+// must not mutate it.
+func (n *Network) Directories() []*hsdir.Directory { return n.dirs }
 
 // GuardPool returns the Guard-flagged fingerprints. The slice aliases the
 // consensus document's shared cache; callers must not mutate it (copy
@@ -153,17 +185,44 @@ func (n *Network) GuardPool() []onion.Fingerprint { return n.guards }
 // Clients returns the client population.
 func (n *Network) Clients() []*Client { return n.clients }
 
+// descriptorID derives one replica ID, through the shared secret table
+// when one is available.
+func (n *Network) descriptorID(permID onion.PermanentID, at time.Time, replica uint8) onion.DescriptorID {
+	if n.secrets != nil {
+		return n.secrets.DescriptorID(permID, at, replica)
+	}
+	return onion.ComputeDescriptorID(permID, at, replica)
+}
+
+// publishScratch carries the reusable buffers of a publish sweep.
+type publishScratch struct {
+	pos []int32
+}
+
 // PublishService uploads both descriptor replicas of a service to their
 // responsible directories at instant now. The upload travels a
 // guard-anchored circuit from the service's host; every upload is
 // announced to registered upload observers (the tap the [8]-style
 // service deanonymisation uses).
 func (n *Network) PublishService(svc *hspop.Service, now time.Time) {
+	var sc publishScratch
+	n.publishService(svc, now, &sc)
+}
+
+func (n *Network) publishService(svc *hspop.Service, now time.Time, sc *publishScratch) {
 	host := n.ensureHost(svc)
 	if len(host.intros) == 0 {
 		n.establishIntroPoints(host, 3)
 	}
-	ids := onion.DescriptorIDs(svc.PermID, now)
+	var ids [onion.Replicas]onion.DescriptorID
+	if n.secrets != nil {
+		ids = n.secrets.DescriptorIDsAt(svc.PermID, now)
+	} else {
+		ids = onion.DescriptorIDs(svc.PermID, now)
+	}
+	// Both replica descriptors share one intro-point snapshot; the slice
+	// is never mutated after the host establishes its intro points.
+	intros := host.IntroPoints()
 	for replica, descID := range ids {
 		desc := &onion.Descriptor{
 			DescID:      descID,
@@ -171,15 +230,16 @@ func (n *Network) PublishService(svc *hspop.Service, now time.Time) {
 			PermID:      svc.PermID,
 			Replica:     uint8(replica),
 			PublishedAt: now,
-			IntroPoints: host.IntroPoints(),
+			IntroPoints: intros,
 		}
-		for _, fp := range n.ring.Responsible(descID, onion.SpreadPerReplica) {
-			n.dirs[fp].Publish(desc, now)
+		sc.pos = n.ring.ResponsibleIndicesInto(sc.pos[:0], descID, onion.SpreadPerReplica)
+		for _, pos := range sc.pos {
+			n.dirs[pos].Publish(desc, now)
 			if len(n.uploadObservers) > 0 {
 				ev := UploadEvent{
 					Host:   host,
 					Guard:  host.gs.pickPool(n.pool, n.rng, now),
-					Dir:    fp,
+					Dir:    n.ringFPs[pos],
 					DescID: descID,
 					At:     now,
 				}
@@ -192,11 +252,14 @@ func (n *Network) PublishService(svc *hspop.Service, now time.Time) {
 }
 
 // PublishAll uploads descriptors for every descriptor-bearing service in
-// the population and returns the number published.
+// the population and returns the number published. Descriptor placement
+// is batched: one responsible-set scratch buffer serves the whole sweep
+// and the secret-id-parts of the window are computed (at most) once.
 func (n *Network) PublishAll(pop *hspop.Population, now time.Time) int {
+	var sc publishScratch
 	count := 0
 	for _, svc := range pop.WithDescriptor() {
-		n.PublishService(svc, now)
+		n.publishService(svc, now, &sc)
 		count++
 	}
 	return count
@@ -220,54 +283,162 @@ type FetchEvent struct {
 	At time.Time
 }
 
+// fetchScratch carries the reusable buffers and memos of one fetch
+// worker. Traffic plans list requests grouped by service, so consecutive
+// fetches usually repeat the same descriptor-ID derivations (per
+// replica) and the same responsible-set lookups; phantom requests are
+// Zipf-weighted, so their descriptor IDs repeat too. Both memos are pure
+// functions of their keys — they can never change an outcome, only skip
+// repeated SHA-1 and ring-search work.
+type fetchScratch struct {
+	pos []int32
+
+	// Descriptor-ID memo for the current (service, period): one slot per
+	// replica, filled lazily.
+	idPermID onion.PermanentID
+	idPeriod uint32
+	idValid  bool
+	idOK     [onion.Replicas]bool
+	idVal    [onion.Replicas]onion.DescriptorID
+
+	// Responsible-set memo: 4-way direct-mapped by the descriptor ID's
+	// low bits (uniform SHA-1 output), so the two live replicas of a
+	// service and the hot phantom IDs rarely evict each other.
+	respKey [4]onion.DescriptorID
+	respOK  [4]bool
+	respLen [4]int
+	respVal [4][onion.SpreadPerReplica]int32
+}
+
+// fetchRec is the compact, pointer-free record a fetch worker writes:
+// DriveWindow buffers one per planned request (the garbage collector
+// never scans the buffer) and materialises FetchEvents from them during
+// the sequential replay.
+type fetchRec struct {
+	descID   onion.DescriptorID
+	guard    onion.Fingerprint
+	atNanos  int64
+	clientID int32
+	// lastDir is the ring position of the last directory tried (the
+	// event's Dir field); answered is the position of the directory that
+	// actually took the request, -1 when every responsible directory was
+	// unreachable.
+	lastDir  int32
+	answered int32
+	attempts int32
+	found    bool
+}
+
+// event materialises the FetchEvent a record describes.
+func (n *Network) event(rec *fetchRec) FetchEvent {
+	return FetchEvent{
+		Client:   n.clients[rec.clientID],
+		Guard:    rec.guard,
+		Dir:      n.ringFPs[rec.lastDir],
+		DescID:   rec.descID,
+		Found:    rec.found,
+		Attempts: int(rec.attempts),
+		At:       time.Unix(0, rec.atNanos).UTC(),
+	}
+}
+
 // FetchDescriptor performs one client descriptor fetch for the service
 // with permanent ID permID: the client computes the descriptor ID with
 // its *local* clock, picks a replica, and queries one of the responsible
 // directories through one of its guards.
+//
+// Like every Network method that draws from the network RNG, single
+// fetches must be externally serialized with publishes and other
+// fetches (DriveWindow is the concurrency-safe path: it executes an
+// entire window's fetches on per-request RNGs against read-only
+// stores). Expired descriptors read as absent but are reaped by the
+// next Publish or Expire rather than on the fetch itself.
 func (n *Network) FetchDescriptor(c *Client, permID onion.PermanentID, now time.Time) FetchEvent {
-	return n.fetchDescriptor(n.rng, c, permID, now)
+	var sc fetchScratch
+	rec := n.fetchDescriptor(n.rng, c, permID, now, &sc)
+	if rec.answered >= 0 {
+		n.dirs[rec.answered].Log().Record(hsdir.Request{At: now, DescID: rec.descID, Found: rec.found})
+	}
+	return n.event(&rec)
 }
 
 // FetchRawID performs one fetch for an arbitrary descriptor ID (used for
-// the phantom requests to never-published descriptors).
+// the phantom requests to never-published descriptors). The
+// serialization contract of FetchDescriptor applies.
 func (n *Network) FetchRawID(c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
-	return n.fetchByID(n.rng, c, descID, now)
+	var sc fetchScratch
+	rec := n.fetchByID(n.rng, c, descID, now, &sc)
+	if rec.answered >= 0 {
+		n.dirs[rec.answered].Log().Record(hsdir.Request{At: now, DescID: rec.descID, Found: rec.found})
+	}
+	return n.event(&rec)
 }
 
-// fetchDescriptor is FetchDescriptor with the randomness source made
-// explicit so DriveWindow can run fetches concurrently on per-request
-// RNGs.
-func (n *Network) fetchDescriptor(rng *rand.Rand, c *Client, permID onion.PermanentID, now time.Time) FetchEvent {
+// fetchDescriptor is FetchDescriptor with the randomness source and
+// scratch buffers made explicit so DriveWindow can run fetches
+// concurrently on per-request RNGs; the caller owns request-log
+// recording.
+func (n *Network) fetchDescriptor(rng *rand.Rand, c *Client, permID onion.PermanentID, now time.Time, sc *fetchScratch) fetchRec {
 	local := c.LocalTime(now)
 	replica := uint8(rng.Intn(onion.Replicas))
-	descID := onion.ComputeDescriptorID(permID, local, replica)
-	return n.fetchByID(rng, c, descID, now)
+	period := onion.TimePeriod(permID, local)
+	if !sc.idValid || sc.idPermID != permID || sc.idPeriod != period {
+		sc.idPermID, sc.idPeriod, sc.idValid = permID, period, true
+		sc.idOK = [onion.Replicas]bool{}
+	}
+	if !sc.idOK[replica] {
+		sc.idOK[replica] = true
+		if n.secrets != nil {
+			sc.idVal[replica] = n.secrets.DescriptorIDForPeriod(permID, period, replica)
+		} else {
+			sc.idVal[replica] = onion.DescriptorIDForPeriod(permID, period, replica)
+		}
+	}
+	return n.fetchByID(rng, c, sc.idVal[replica], now, sc)
 }
 
-func (n *Network) fetchByID(rng *rand.Rand, c *Client, descID onion.DescriptorID, now time.Time) FetchEvent {
-	guard := c.gs.pickPool(n.pool, rng, now)
-	responsible := n.ring.Responsible(descID, onion.SpreadPerReplica)
-	// Contact the responsible directories in random order, falling back
-	// on unreachable ones, as the Tor client does.
-	order := rng.Perm(len(responsible))
-	ev := FetchEvent{
-		Client: c,
-		Guard:  guard,
-		DescID: descID,
-		At:     now,
+func (n *Network) fetchByID(rng *rand.Rand, c *Client, descID onion.DescriptorID, now time.Time, sc *fetchScratch) fetchRec {
+	rec := fetchRec{
+		descID:   descID,
+		guard:    c.gs.pickPool(n.pool, rng, now),
+		atNanos:  now.UnixNano(),
+		clientID: int32(c.ID),
+		answered: -1,
 	}
-	for _, i := range order {
-		ev.Attempts++
-		ev.Dir = responsible[i]
+	slot := descID[len(descID)-1] & 3
+	if !sc.respOK[slot] || sc.respKey[slot] != descID {
+		sc.pos = n.ring.ResponsibleIndicesInto(sc.pos[:0], descID, onion.SpreadPerReplica)
+		sc.respKey[slot], sc.respOK[slot] = descID, true
+		sc.respLen[slot] = copy(sc.respVal[slot][:], sc.pos)
+	}
+	k := sc.respLen[slot]
+	// Contact the responsible directories in random order, falling back
+	// on unreachable ones, as the Tor client does. The permutation
+	// replays math/rand.Perm's exact draw sequence into a stack buffer
+	// (rand.Perm would heap-allocate per fetch); k never exceeds
+	// onion.SpreadPerReplica, and the i=0 iteration swaps order[0] with
+	// itself but still consumes one Intn draw — math/rand.Perm does the
+	// same, and the RNG stream (and with it every driven window) must
+	// not shift.
+	var order [onion.SpreadPerReplica]int32
+	for i := 0; i < k; i++ {
+		j := rng.Intn(i + 1)
+		order[i] = order[j]
+		order[j] = int32(i)
+	}
+	for _, oi := range order[:k] {
+		pos := sc.respVal[slot][oi]
+		rec.attempts++
+		rec.lastDir = pos
 		if n.dirFailure > 0 && rng.Float64() < n.dirFailure {
 			continue // this directory was unreachable; try the next
 		}
-		_, ev.Found = n.dirs[ev.Dir].Fetch(descID, now)
-		return ev
+		_, rec.found = n.dirs[pos].Probe(descID, now)
+		rec.answered = pos
+		return rec
 	}
 	// Every responsible directory was unreachable.
-	ev.Found = false
-	return ev
+	return rec
 }
 
 // TrafficStats summarises a driven measurement window.
@@ -275,6 +446,34 @@ type TrafficStats struct {
 	TotalRequests   int
 	PhantomRequests int
 	ResolvedHits    int
+}
+
+// planEntry is one planned request of a driven window.
+type planEntry struct {
+	permID  onion.PermanentID
+	phantom bool
+}
+
+// Window-sized scratch buffers are pooled across DriveWindow calls (and
+// across the per-step networks of a trawl): every slot is overwritten
+// before it is read, so reuse can never change an outcome — it only
+// stops each window from allocating and zeroing megabytes of plan,
+// record, and log-routing buffers.
+var (
+	planPool = sync.Pool{New: func() any { return new([]planEntry) }}
+	recsPool = sync.Pool{New: func() any { return new([]fetchRec) }}
+	reqsPool = sync.Pool{New: func() any { return new([]hsdir.Request) }}
+)
+
+// grabSlice returns a zero-length slice with capacity >= n from the
+// pooled backing array, growing it if needed.
+func grabSlice[T any](pool *sync.Pool, n int) *[]T {
+	p := pool.Get().(*[]T)
+	if cap(*p) < n {
+		*p = make([]T, 0, n)
+	}
+	*p = (*p)[:0]
+	return p
 }
 
 // warmGuardSets rotates-in the guard set of every client, using the
@@ -288,6 +487,17 @@ func (n *Network) warmGuardSets(now, horizon time.Time) {
 	}
 }
 
+// ensureSecrets makes sure the shared secret table covers every local
+// clock a client may use inside [start, end]. Called from the sequential
+// planning phase only; phase-2 workers read the table immutably.
+func (n *Network) ensureSecrets(start, end time.Time) {
+	lo := start.Add(-n.maxSkew - 24*time.Hour)
+	hi := end.Add(n.maxSkew + 24*time.Hour)
+	if n.secrets == nil || !n.secrets.Covers(lo, hi) {
+		n.secrets = onion.NewSecretIDTable(lo, hi)
+	}
+}
+
 // DriveWindow generates descriptor-fetch traffic over a measurement
 // window of the given duration starting at start: Poisson counts around
 // each popular service's expected rate, plus phantom requests for
@@ -298,8 +508,10 @@ func (n *Network) warmGuardSets(now, horizon time.Time) {
 // Execution is three-phase so cfg.Workers never changes the outcome:
 // the traffic plan is drawn sequentially from the network RNG; the
 // fetches execute concurrently, each on an RNG derived from its plan
-// index; and the events are replayed to the stats and the observer
-// sequentially in plan order.
+// index, probing the descriptor stores lock-free and recording into
+// per-worker buffers; and the events are replayed to the stats and the
+// observer sequentially in plan order, with the request records routed
+// to the per-directory logs in one batch per directory.
 func (n *Network) DriveWindow(
 	pop *hspop.Population,
 	start time.Time,
@@ -309,11 +521,9 @@ func (n *Network) DriveWindow(
 	var out TrafficStats
 
 	// Phase 1: draw the plan sequentially from the network RNG.
-	type planEntry struct {
-		permID  onion.PermanentID
-		phantom bool
-	}
-	plan := make([]planEntry, 0, 4096)
+	planPtr := grabSlice[planEntry](&planPool, 4096)
+	defer planPool.Put(planPtr)
+	plan := *planPtr
 	realTotal := 0
 	for _, svc := range pop.PopularServices() {
 		c := stats.Poisson(n.rng, svc.ExpectedRequests)
@@ -338,50 +548,100 @@ func (n *Network) DriveWindow(
 	for k := 0; k < phantomTotal; k++ {
 		plan = append(plan, planEntry{phantom: true})
 	}
+	*planPtr = plan // pool the (possibly grown) backing array, not the stale header
 	planSeed := n.rng.Int63()
 	end := start.Add(window)
 	n.warmGuardSets(start, end)
+	n.ensureSecrets(start, end)
 
 	// Phase 2: execute the fetches concurrently. Each request derives
-	// its RNG from (planSeed, index), directories serialise their own
-	// mutations, and warmed guard sets are only read: warming refreshed
-	// every guard that would expire before end. A freshly refreshed
-	// guard is stable for minGuardLifetime, so for windows that long or
-	// longer the no-mid-window-rotation guarantee cannot hold and we
-	// fall back to serial execution (identical results at every Workers
-	// value either way, since the plan already fixes each request's RNG).
+	// its RNG from (planSeed, index) — one reseeded RNG per worker, not
+	// one allocation per request — probes the descriptor stores without
+	// taking any lock, and notes which directory answered. Warmed guard
+	// sets are only read: warming refreshed every guard that would
+	// expire before end. A freshly refreshed guard is stable for
+	// minGuardLifetime, so for windows that long or longer the
+	// no-mid-window-rotation guarantee cannot hold and we fall back to
+	// serial execution (identical results at every Workers value either
+	// way, since the plan already fixes each request's RNG).
 	workers := n.workers
 	if window >= minGuardLifetime {
 		workers = 1
 	}
-	events := make([]FetchEvent, len(plan))
-	parallel.ForEach(workers, len(plan), func(i int) {
-		rng := parallel.NewRNG(parallel.SeedFor(planSeed, int64(i)))
-		at := start.Add(time.Duration(rng.Int63n(int64(window))))
-		c := n.clients[rng.Intn(len(n.clients))]
-		if plan[i].phantom {
-			// Zipf-ish: low indexes requested far more often.
-			idx := int(float64(len(phantomIDs)) * math.Pow(rng.Float64(), 2.2))
-			if idx >= len(phantomIDs) {
-				idx = len(phantomIDs) - 1
+	recsPtr := grabSlice[fetchRec](&recsPool, len(plan))
+	defer recsPool.Put(recsPtr)
+	recs := (*recsPtr)[:len(plan)] // pointer-free: never GC-scanned
+	parallel.Chunks(workers, len(plan), func(shard, lo, hi int) {
+		var sc fetchScratch
+		rng := parallel.NewRNG(0)
+		for i := lo; i < hi; i++ {
+			rng.Seed(parallel.SeedFor(planSeed, int64(i)))
+			at := start.Add(time.Duration(rng.Int63n(int64(window))))
+			c := n.clients[rng.Intn(len(n.clients))]
+			if plan[i].phantom {
+				// Zipf-ish: low indexes requested far more often.
+				idx := int(float64(len(phantomIDs)) * math.Pow(rng.Float64(), 2.2))
+				if idx >= len(phantomIDs) {
+					idx = len(phantomIDs) - 1
+				}
+				recs[i] = n.fetchByID(rng, c, phantomIDs[idx], at, &sc)
+			} else {
+				recs[i] = n.fetchDescriptor(rng, c, plan[i].permID, at, &sc)
 			}
-			events[i] = n.fetchByID(rng, c, phantomIDs[idx], at)
-		} else {
-			events[i] = n.fetchDescriptor(rng, c, plan[i].permID, at)
 		}
 	})
 
 	// Phase 3: replay in plan order.
-	for i, ev := range events {
+	for i := range recs {
 		out.TotalRequests++
-		if ev.Found {
+		if recs[i].found {
 			out.ResolvedHits++
 		}
 		if plan[i].phantom {
 			out.PhantomRequests++
 		}
 		if observer != nil {
-			observer(ev)
+			observer(n.event(&recs[i]))
+		}
+	}
+
+	// Route the window's request records to the per-directory logs: one
+	// shared arena carved into per-directory spans (filled in plan
+	// order, so log contents no longer depend on fetch scheduling), one
+	// bulk RecordBatch per directory.
+	counts := make([]int32, len(n.dirs))
+	total := 0
+	for i := range recs {
+		if recs[i].answered >= 0 {
+			counts[recs[i].answered]++
+			total++
+		}
+	}
+	if total > 0 {
+		arenaPtr := grabSlice[hsdir.Request](&reqsPool, total)
+		defer reqsPool.Put(arenaPtr)
+		arena := (*arenaPtr)[:total]
+		offs := make([]int32, len(n.dirs)+1)
+		for d, c := range counts {
+			offs[d+1] = offs[d] + c
+		}
+		fill := make([]int32, len(n.dirs))
+		for i := range recs {
+			d := recs[i].answered
+			if d < 0 {
+				continue
+			}
+			arena[offs[d]+fill[d]] = hsdir.Request{
+				At:     time.Unix(0, recs[i].atNanos).UTC(),
+				DescID: recs[i].descID,
+				Found:  recs[i].found,
+			}
+			fill[d]++
+		}
+		for d, c := range counts {
+			if c > 0 {
+				n.dirs[d].Log().RecordBatch(arena[offs[d]:offs[d+1]])
+			}
 		}
 	}
 	return out

@@ -23,6 +23,11 @@ type SignatureAttack struct {
 
 	signaturesSent int
 	detections     []Detection
+	// countryHist caches the per-country detection tally, built on first
+	// CountryHistogram call and invalidated whenever a detection is
+	// appended (the History.FirstAppearance pattern), so renderers that
+	// query the histogram repeatedly never rescan the detection list.
+	countryHist map[string]int
 
 	// Cell-level mode: instead of flagging marked responses directly,
 	// the guard counts cells per circuit and runs the burst detector on
@@ -140,6 +145,7 @@ func (a *SignatureAttack) Observe(ev FetchEvent) {
 		At:       ev.At,
 		Guard:    ev.Guard,
 	})
+	a.countryHist = nil // invalidate the cached histogram
 }
 
 // SignaturesSent returns how many signature-wrapped responses left
@@ -160,13 +166,21 @@ func (a *SignatureAttack) Detections() []Detection {
 }
 
 // CountryHistogram aggregates detections by country — the data behind the
-// paper's Fig. 3 world map.
+// paper's Fig. 3 world map. The tally is cached across calls and rebuilt
+// only after new detections; the returned map is a copy the caller may
+// keep or mutate.
 func (a *SignatureAttack) CountryHistogram() map[string]int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make(map[string]int)
-	for _, d := range a.detections {
-		out[d.Country]++
+	if a.countryHist == nil {
+		a.countryHist = make(map[string]int)
+		for _, d := range a.detections {
+			a.countryHist[d.Country]++
+		}
+	}
+	out := make(map[string]int, len(a.countryHist))
+	for c, n := range a.countryHist {
+		out[c] = n
 	}
 	return out
 }

@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"torhs/internal/onion"
+)
+
+// TestCountryHistogramCachedAndInvalidated exercises the cached Fig. 3
+// histogram: repeated queries return equal (copied) maps, appending a
+// detection invalidates the cache, and mutating a returned map never
+// corrupts later queries.
+func TestCountryHistogramCachedAndInvalidated(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	target := onion.GenerateKey(rng).PermanentID()
+	dir := onion.RandomFingerprint(rng)
+	guard := onion.RandomFingerprint(rng)
+	a := NewSignatureAttack(target, []onion.Fingerprint{dir}, []onion.Fingerprint{guard})
+
+	at := time.Date(2013, 2, 4, 12, 0, 0, 0, time.UTC)
+	hit := func(clientID int, country string) FetchEvent {
+		return FetchEvent{
+			Client: &Client{ID: clientID, IP: "198.51.100.7", Country: country},
+			Guard:  guard,
+			Dir:    dir,
+			DescID: onion.DescriptorIDs(target, at)[0],
+			Found:  true,
+			At:     at,
+		}
+	}
+
+	a.Observe(hit(1, "DE"))
+	h1 := a.CountryHistogram()
+	if h1["DE"] != 1 || len(h1) != 1 {
+		t.Fatalf("histogram after first detection = %v", h1)
+	}
+	// Mutating the returned copy must not poison the cache.
+	h1["DE"] = 99
+	if h := a.CountryHistogram(); h["DE"] != 1 {
+		t.Fatalf("cache corrupted by caller mutation: %v", h)
+	}
+
+	// A new detection must invalidate the cached tally.
+	a.Observe(hit(2, "DE"))
+	a.Observe(hit(3, "US"))
+	h2 := a.CountryHistogram()
+	if h2["DE"] != 2 || h2["US"] != 1 {
+		t.Fatalf("histogram after invalidation = %v", h2)
+	}
+}
