@@ -1,0 +1,75 @@
+// Command hsserve exposes a result store over HTTP — the serving front
+// end of the study pipeline. Populate a store with `hsstudy -out DIR`
+// (repeat per scenario or experiment subset), then point hsserve at it;
+// every stored artefact is served in any report encoding with
+// content-hash ETags, so fleets of clients and caches revalidate
+// cheaply while the store stays the single source of truth.
+//
+// Routes:
+//
+//	GET /healthz                                   liveness probe
+//	GET /experiments                               JSON index of stored artefacts
+//	GET /report/{scenario}/{experiment}?format=F   encoded document (text|json|md|csv)
+//
+// Usage:
+//
+//	hsserve -store DIR [-addr :8343]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"torhs/internal/cli"
+	"torhs/internal/resultstore"
+)
+
+func main() { cli.Main("hsserve", run) }
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("hsserve", flag.ContinueOnError)
+	var (
+		storeDir = fs.String("store", "", "result store directory (populate with hsstudy -out)")
+		addr     = fs.String("addr", ":8343", "listen address")
+	)
+	if stop, err := cli.Parse(fs, args); stop {
+		return err
+	}
+	if *storeDir == "" {
+		return errors.New("-store DIR is required")
+	}
+	if info, err := os.Stat(*storeDir); err != nil || !info.IsDir() {
+		return fmt.Errorf("store directory %q not found (populate it with hsstudy -out)", *storeDir)
+	}
+	store, err := resultstore.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.List()
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hsserve: serving %d stored artefact(s) from %s on %s\n",
+		len(entries), store.Dir(), ln.Addr())
+	srv := &http.Server{
+		Handler: resultstore.NewServer(store).Handler(),
+		// Responses are small immutable documents; generous write
+		// budgets are unnecessary, and header/idle timeouts keep
+		// slow-header clients from pinning connections open forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.Serve(ln)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"torhs/internal/experiments"
+	"torhs/internal/resultstore"
+	"torhs/internal/scenario"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{}, io.Discard); err == nil {
+		t.Fatal("missing -store accepted")
+	}
+	if err := run([]string{"-store", t.TempDir() + "/absent"}, io.Discard); err == nil {
+		t.Fatal("nonexistent store directory accepted")
+	}
+	if err := run([]string{"-h"}, io.Discard); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+// TestServedBytesMatchStudyOutput is the end-to-end acceptance check:
+// populate a store through the pipeline, then serve it — each
+// experiment's HTTP text body must be byte-identical to its slice of
+// the study's stdout render, under an ETag derived from the content
+// hash that revalidates with 304.
+func TestServedBytesMatchStudyOutput(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := experiments.ConfigFromSpec(scenario.MustLookup(scenario.Smoke), 3)
+	cfg.Scale, cfg.Clients, cfg.TrawlIPs, cfg.TrawlSteps, cfg.Relays = 0.02, 100, 6, 2, 250
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var study bytes.Buffer
+	names := []string{experiments.ExpPrefixAudit, experiments.ExpTracking}
+	if _, err := experiments.Paper().RunStudy(env, experiments.RunOptions{
+		Names: names, Scenario: scenario.Smoke, Store: store,
+	}, &study); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(resultstore.NewServer(store).Handler())
+	defer ts.Close()
+
+	var served strings.Builder
+	for _, name := range names {
+		resp, err := http.Get(ts.URL + "/report/smoke/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", name, resp.StatusCode)
+		}
+		etag := resp.Header.Get("ETag")
+		hash := resp.Header.Get("X-Content-Hash")
+		if etag == "" || hash == "" || !strings.Contains(etag, hash[:32]) {
+			t.Fatalf("%s: ETag %q not derived from content hash %q", name, etag, hash)
+		}
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/report/smoke/"+name, nil)
+		req.Header.Set("If-None-Match", etag)
+		again, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again.Body.Close()
+		if again.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s revalidation = %d, want 304", name, again.StatusCode)
+		}
+		served.Write(body)
+	}
+	if served.String() != study.String() {
+		t.Fatalf("served bytes differ from the study render:\n--- http ---\n%s\n--- study ---\n%s",
+			served.String(), study.String())
+	}
+}

@@ -5,10 +5,19 @@
 // crawl feeds on the scan) run automatically and shared substrates build
 // once.
 //
+// Results are typed report documents: -format selects the encoding
+// (text is byte-identical to the historical study output), -out
+// persists every produced document into a content-addressed result
+// store (servable with hsserve), and -cache consults that store first —
+// experiments whose documents are already persisted under the same
+// scenario, seed, parameters and code version are served from disk
+// without executing.
+//
 // Usage:
 //
 //	hsstudy -list
-//	hsstudy [-scenario NAME] [-seed N] [-experiment NAME[,NAME...]] [overrides]
+//	hsstudy [-scenario NAME] [-seed N] [-experiment NAME[,NAME...]]
+//	        [-format text|json|md|csv] [-out DIR [-cache]] [overrides]
 //
 // The two lists below are rendered from the registry and the scenario
 // presets; TestDocCommentMatchesRegistry fails if they drift.
@@ -27,21 +36,14 @@ import (
 	"os"
 	"strings"
 
+	"torhs/internal/cli"
 	"torhs/internal/experiments"
+	"torhs/internal/report"
+	"torhs/internal/resultstore"
 	"torhs/internal/scenario"
 )
 
-// errUsage marks a flag-parse failure the FlagSet already reported.
-var errUsage = errors.New("usage")
-
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		if !errors.Is(err, errUsage) {
-			fmt.Fprintln(os.Stderr, "hsstudy:", err)
-		}
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("hsstudy", run) }
 
 func run(args []string, w io.Writer) error {
 	reg := experiments.Paper()
@@ -52,6 +54,9 @@ func run(args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 42, "random seed for the whole study")
 		workers  = fs.Int("workers", 0, "worker goroutines per parallel stage (0 = one per CPU; stages can overlap, so peak concurrency may exceed this); output is identical at every value")
 		selector = fs.String("experiment", "all", "comma-separated experiments to run (all = every one): "+strings.Join(reg.Names(), "|"))
+		format   = fs.String("format", report.FormatText, "output encoding: "+strings.Join(report.Formats(), "|"))
+		outDir   = fs.String("out", "", "persist result documents into the content-addressed store at this directory")
+		useCache = fs.Bool("cache", false, "serve experiments already persisted in the -out store instead of executing them")
 
 		// Overrides: applied on top of the scenario preset only when set
 		// explicitly on the command line.
@@ -61,11 +66,8 @@ func run(args []string, w io.Writer) error {
 		trawlSteps = fs.Int("trawl-steps", 0, "override preset: trawling rotation steps")
 		relays     = fs.Int("relays", 0, "override preset: honest relay network size")
 	)
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return nil
-		}
-		return errUsage
+	if stop, err := cli.Parse(fs, args); stop {
+		return err
 	}
 
 	if *list {
@@ -79,6 +81,7 @@ func run(args []string, w io.Writer) error {
 	}
 	cfg := experiments.ConfigFromSpec(spec, *seed)
 	cfg.Workers = *workers
+	overridden := false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "scale":
@@ -91,14 +94,54 @@ func run(args []string, w io.Writer) error {
 			cfg.TrawlSteps = *trawlSteps
 		case "relays":
 			cfg.Relays = *relays
+		case "seed":
+			// Not an override of the preset's shape, but it changes
+			// output bytes just like one — see scenarioLabel below.
+		default:
+			return
 		}
+		overridden = true
 	})
+	// A run whose output-determining flags were set explicitly is no
+	// longer the preset's canonical result: bucket its store entries
+	// under "custom" so it can never hijack the preset's serving slot
+	// (cache keys hash the full parameters either way).
+	scenarioLabel := *preset
+	if overridden {
+		scenarioLabel = "custom"
+	}
+
+	if *useCache && *outDir == "" {
+		return errors.New("-cache requires -out DIR (the store to consult)")
+	}
+	var store *resultstore.Store
+	if *outDir != "" {
+		if store, err = resultstore.Open(*outDir); err != nil {
+			return err
+		}
+	}
 
 	env, err := experiments.NewEnv(cfg)
 	if err != nil {
 		return err
 	}
-	return reg.Run(env, parseSelector(*selector), w)
+	res, err := reg.RunStudy(env, experiments.RunOptions{
+		Names:    parseSelector(*selector),
+		Format:   *format,
+		Scenario: scenarioLabel,
+		Store:    store,
+		UseCache: *useCache,
+	}, w)
+	if err != nil {
+		return err
+	}
+	if *useCache {
+		// Stdout stays pure encoded output; the scheduling report goes
+		// to stderr so cached and fresh runs emit identical bytes.
+		fmt.Fprintf(os.Stderr, "hsstudy: %d experiment(s) served from cache, %d executed\n",
+			len(res.Cached), len(res.Executed))
+	}
+	return nil
 }
 
 // parseSelector splits the -experiment value; nil means every

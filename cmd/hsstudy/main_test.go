@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"torhs/internal/experiments"
+	"torhs/internal/report"
+	"torhs/internal/resultstore"
 	"torhs/internal/scenario"
 )
 
@@ -90,6 +92,70 @@ func TestCLIRejectsUnknownNames(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "nope"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// cliArgs is the shared tiny-scale argument prefix for store/format
+// tests.
+func cliArgs(extra ...string) []string {
+	return append([]string{
+		"-scenario", "smoke", "-seed", "3",
+		"-scale", "0.02", "-clients", "100", "-trawl-ips", "6", "-trawl-steps", "2", "-relays", "250",
+		"-experiment", "prefix-audit",
+	}, extra...)
+}
+
+// TestCLIStoreAndCache: -out persists documents, a second -cache run
+// emits byte-identical output from the store, and -cache without -out
+// is rejected.
+func TestCLIStoreAndCache(t *testing.T) {
+	dir := t.TempDir()
+	var fresh bytes.Buffer
+	if err := run(cliArgs("-out", dir), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cliArgs overrides preset sizing, so the run is indexed under
+	// "custom", never hijacking the smoke preset's serving slot.
+	if e, err := store.Lookup("custom", "prefix-audit"); err != nil || e == nil {
+		t.Fatalf("document not persisted under custom: entry=%v err=%v", e, err)
+	}
+	if e, err := store.Lookup("smoke", "prefix-audit"); err != nil || e != nil {
+		t.Fatalf("overridden run claimed the smoke slot: entry=%v err=%v", e, err)
+	}
+
+	var cached bytes.Buffer
+	if err := run(cliArgs("-out", dir, "-cache"), &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.String() != fresh.String() {
+		t.Fatalf("cached output differs:\n--- fresh ---\n%s\n--- cached ---\n%s", fresh.String(), cached.String())
+	}
+
+	if err := run(cliArgs("-cache"), new(bytes.Buffer)); err == nil {
+		t.Fatal("-cache without -out accepted")
+	}
+}
+
+// TestCLIFormats: -format json emits a decodable document carrying the
+// same sections, and unknown formats are rejected.
+func TestCLIFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(cliArgs("-format", "json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := report.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatalf("-format json output not a document: %v", err)
+	}
+	if doc.Title != "custom" || len(doc.Sections) == 0 || doc.Sections[0].ID != "prefix-audit" {
+		t.Fatalf("JSON document unexpected: title=%q sections=%d", doc.Title, len(doc.Sections))
+	}
+	if err := run(cliArgs("-format", "xml"), new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }
 

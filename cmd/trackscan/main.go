@@ -14,12 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"torhs/internal/cli"
 	"torhs/internal/consensus"
 	"torhs/internal/core/tracking"
 	"torhs/internal/experiments"
@@ -27,34 +29,32 @@ import (
 	"torhs/internal/scenario"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "trackscan:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("trackscan", run) }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trackscan", flag.ContinueOnError)
 	var (
-		seed    = flag.Int64("seed", 42, "random seed (demo mode)")
-		preset  = flag.String("scenario", scenario.Laptop, "scenario preset shaping the demo history window: "+strings.Join(scenario.Names(), "|"))
-		saveDir = flag.String("save", "", "save the demo consensus history to this directory")
-		archive = flag.String("archive", "", "load consensus documents from this directory instead of demo mode")
-		target  = flag.String("target", "", "target onion address (archive mode)")
-		fromStr = flag.String("from", "", "analysis window start, RFC3339 (archive mode; default: full archive)")
-		toStr   = flag.String("to", "", "analysis window end, RFC3339 (archive mode)")
-		csvPath = flag.String("csv", "", "also write the per-relay analysis as CSV to this file")
+		seed    = fs.Int64("seed", 42, "random seed (demo mode)")
+		preset  = fs.String("scenario", scenario.Laptop, "scenario preset shaping the demo history window: "+strings.Join(scenario.Names(), "|"))
+		saveDir = fs.String("save", "", "save the demo consensus history to this directory")
+		archive = fs.String("archive", "", "load consensus documents from this directory instead of demo mode")
+		target  = fs.String("target", "", "target onion address (archive mode)")
+		fromStr = fs.String("from", "", "analysis window start, RFC3339 (archive mode; default: full archive)")
+		toStr   = fs.String("to", "", "analysis window end, RFC3339 (archive mode)")
+		csvPath = fs.String("csv", "", "also write the per-relay analysis as CSV to this file")
 	)
-	flag.Parse()
+	if stop, err := cli.Parse(fs, args); stop {
+		return err
+	}
 
 	if *archive != "" {
-		return runArchive(*archive, *target, *fromStr, *toStr, *csvPath)
+		return runArchive(w, *archive, *target, *fromStr, *toStr, *csvPath)
 	}
 	spec, err := scenario.Lookup(*preset)
 	if err != nil {
 		return err
 	}
-	return runDemo(*seed, spec, *saveDir, *csvPath)
+	return runDemo(w, *seed, spec, *saveDir, *csvPath)
 }
 
 func writeCSV(path string, rep *tracking.Report) error {
@@ -72,7 +72,7 @@ func writeCSV(path string, rep *tracking.Report) error {
 	return f.Close()
 }
 
-func runDemo(seed int64, spec scenario.Spec, saveDir, csvPath string) error {
+func runDemo(w io.Writer, seed int64, spec scenario.Spec, saveDir, csvPath string) error {
 	scCfg := tracking.DefaultScenarioConfig(seed)
 	scCfg.Days = spec.TrackingWindow(scCfg.Days)
 	sc, err := tracking.BuildScenario(scCfg)
@@ -87,13 +87,13 @@ func runDemo(seed int64, spec scenario.Spec, saveDir, csvPath string) error {
 	if err != nil {
 		return err
 	}
-	experiments.RenderTracking(os.Stdout, &experiments.TrackingResult{Scenario: sc, Report: rep})
+	experiments.RenderTracking(w, &experiments.TrackingResult{Scenario: sc, Report: rep})
 
 	if saveDir != "" {
 		if err := saveHistory(saveDir, sc.History); err != nil {
 			return err
 		}
-		fmt.Printf("history saved to %s (target %s)\n", saveDir, sc.TargetAddress.String())
+		fmt.Fprintf(w, "history saved to %s (target %s)\n", saveDir, sc.TargetAddress.String())
 	}
 	return writeCSV(csvPath, rep)
 }
@@ -119,7 +119,7 @@ func saveHistory(dir string, h *consensus.History) error {
 	return nil
 }
 
-func runArchive(dir, target, fromStr, toStr, csvPath string) error {
+func runArchive(w io.Writer, dir, target, fromStr, toStr, csvPath string) error {
 	if target == "" {
 		return fmt.Errorf("archive mode requires -target")
 	}
@@ -181,6 +181,6 @@ func runArchive(dir, target, fromStr, toStr, csvPath string) error {
 		return err
 	}
 	sc := &tracking.Scenario{Target: permID, TargetAddress: onion.AddressFromID(permID), History: h}
-	experiments.RenderTracking(os.Stdout, &experiments.TrackingResult{Scenario: sc, Report: rep})
+	experiments.RenderTracking(w, &experiments.TrackingResult{Scenario: sc, Report: rep})
 	return writeCSV(csvPath, rep)
 }

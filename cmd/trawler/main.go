@@ -13,11 +13,13 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
+	"torhs/internal/cli"
 	"torhs/internal/core/trawl"
 	"torhs/internal/geo"
 	"torhs/internal/hspop"
@@ -26,24 +28,22 @@ import (
 	"torhs/internal/relaynet"
 )
 
-func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "trawler:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("trawler", run) }
 
-func run() error {
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trawler", flag.ContinueOnError)
 	var (
-		seed   = flag.Int64("seed", 42, "random seed")
-		ips    = flag.Int("ips", 58, "rented IP addresses (the paper used 58 EC2 instances)")
-		steps  = flag.Int("steps", 12, "reachability-rotation steps across the attack window")
-		scale  = flag.Float64("scale", 0.05, "hidden-service population scale")
-		relays = flag.Int("relays", 350, "honest relay count")
-		out    = flag.String("out", "", "write collected onion addresses to this file")
-		descs  = flag.String("descriptors", "", "write harvested descriptors (rend-spec v2 format) to this directory")
+		seed   = fs.Int64("seed", 42, "random seed")
+		ips    = fs.Int("ips", 58, "rented IP addresses (the paper used 58 EC2 instances)")
+		steps  = fs.Int("steps", 12, "reachability-rotation steps across the attack window")
+		scale  = fs.Float64("scale", 0.05, "hidden-service population scale")
+		relays = fs.Int("relays", 350, "honest relay count")
+		out    = fs.String("out", "", "write collected onion addresses to this file")
+		descs  = fs.String("descriptors", "", "write harvested descriptors (rend-spec v2 format) to this directory")
 	)
-	flag.Parse()
+	if stop, err := cli.Parse(fs, args); stop {
+		return err
+	}
 
 	fleet := relaynet.DefaultFleetConfig(*seed)
 	fleet.Days = 1
@@ -80,30 +80,30 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("attack window: %s .. %s (%d steps)\n",
+	fmt.Fprintf(w, "attack window: %s .. %s (%d steps)\n",
 		harvest.Start.Format(time.RFC3339), harvest.End.Format(time.RFC3339), *steps)
-	fmt.Printf("population: %d services, %d publishing descriptors\n",
+	fmt.Fprintf(w, "population: %d services, %d publishing descriptors\n",
 		pop.Len(), len(pop.WithDescriptor()))
-	fmt.Printf("collected: %d onion addresses (%.1f%% of published), %d descriptor uploads seen\n",
+	fmt.Fprintf(w, "collected: %d onion addresses (%.1f%% of published), %d descriptor uploads seen\n",
 		len(harvest.Addresses), harvest.CollectedFraction*100, harvest.DescriptorsSeen)
-	fmt.Printf("client requests observed: %d (%d unique descriptor IDs, %.0f%% hit a stored descriptor)\n",
+	fmt.Fprintf(w, "client requests observed: %d (%d unique descriptor IDs, %.0f%% hit a stored descriptor)\n",
 		harvest.Log.Total(), harvest.Log.UniqueIDs(), harvest.Log.FoundFraction()*100)
 	for i, c := range harvest.StepCoverage {
-		fmt.Printf("  step %2d: attacker holds %.1f%% of HSDir ring positions\n", i, c*100)
+		fmt.Fprintf(w, "  step %2d: attacker holds %.1f%% of HSDir ring positions\n", i, c*100)
 	}
 
 	if *out != "" {
 		if err := writeAddresses(*out, harvest); err != nil {
 			return err
 		}
-		fmt.Printf("addresses written to %s\n", *out)
+		fmt.Fprintf(w, "addresses written to %s\n", *out)
 	}
 	if *descs != "" {
 		n, err := writeDescriptors(*descs, harvest, pop)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d descriptors written to %s\n", n, *descs)
+		fmt.Fprintf(w, "%d descriptors written to %s\n", n, *descs)
 	}
 	return nil
 }

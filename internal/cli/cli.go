@@ -1,0 +1,54 @@
+// Package cli holds the entry-point scaffold every command shares:
+// run-function wrapping (exit codes, error prefixes) and flag parsing
+// with the usage-error convention. Commands define
+//
+//	func run(args []string, w io.Writer) error
+//
+// (testable: args and output are injected) and a one-line main:
+//
+//	func main() { cli.Main("name", run) }
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrUsage marks a flag-parse failure the FlagSet has already reported
+// to stderr; Main exits 1 without printing it again.
+var ErrUsage = errors.New("usage")
+
+// Main runs run(os.Args[1:], os.Stdout), prefixing errors with the
+// command name. Usage errors stay silent (the FlagSet printed the
+// diagnostics during Parse) and exit 2, matching flag.ExitOnError's
+// convention so wrapper scripts can tell bad invocations from runtime
+// failures, which exit 1.
+func Main(name string, run func(args []string, w io.Writer) error) {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, ErrUsage) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}
+
+// Parse parses args with fs under the shared convention: -h/-help is
+// success (stop with a nil error), any other parse failure is ErrUsage.
+// Callers return immediately when stop is true:
+//
+//	if stop, err := cli.Parse(fs, args); stop {
+//	    return err
+//	}
+func Parse(fs *flag.FlagSet, args []string) (stop bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return true, nil
+		}
+		return true, ErrUsage
+	}
+	return false, nil
+}

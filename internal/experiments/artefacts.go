@@ -6,52 +6,91 @@ import (
 	"torhs/internal/core/content"
 	"torhs/internal/core/deanon"
 	"torhs/internal/core/scan"
+	"torhs/internal/report"
 )
 
 // The paper registry's artefact types: thin typed wrappers that pair
-// each experiment's result with its section of the study output. The
-// full study render is exactly the concatenation of these sections in
-// registration order, which is what makes subset runs byte-identical to
-// their slice of the full run.
+// each experiment's result with its document — the typed sections of
+// the study output. The full study render is exactly the concatenation
+// of these documents' text encodings in registration order, which is
+// what makes subset runs byte-identical to their slice of the full run.
+// Render stays on every artefact as the text-encode shim over
+// Document.
+
+// renderDocument is the shared Render implementation: text-encode the
+// artefact's document.
+func renderDocument(w io.Writer, a Documenter) {
+	_ = report.EncodeText(w, a.Document())
+}
 
 type collectionArtefact struct{ res *CollectionComparison }
 
-func (a *collectionArtefact) Render(w io.Writer) { RenderCollectionComparison(w, a.res) }
+func (a *collectionArtefact) Document() *report.Document {
+	return report.New(ExpCollection, CollectionSection(a.res))
+}
+
+func (a *collectionArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type scanArtefact struct {
 	res   *scan.Result
 	audit *scan.CertAudit
 }
 
-func (a *scanArtefact) Render(w io.Writer) {
-	RenderFig1(w, a.res)
-	RenderCertAudit(w, a.audit)
+func (a *scanArtefact) Document() *report.Document {
+	return report.New(ExpScan, Fig1Section(a.res), CertAuditSection(a.audit))
 }
+
+func (a *scanArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type contentArtefact struct{ res *content.Result }
 
-func (a *contentArtefact) Render(w io.Writer) {
-	RenderTableI(w, a.res)
-	RenderLanguages(w, a.res)
-	RenderFig2(w, a.res)
+func (a *contentArtefact) Document() *report.Document {
+	return report.New(ExpContent, TableISection(a.res), LanguagesSection(a.res), Fig2Section(a.res))
 }
+
+func (a *contentArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type prefixArtefact struct{ clusters []PrefixCluster }
 
-func (a *prefixArtefact) Render(w io.Writer) { RenderPrefixAudit(w, a.clusters) }
+func (a *prefixArtefact) Document() *report.Document {
+	return report.New(ExpPrefixAudit, PrefixAuditSection(a.clusters))
+}
 
-type popularityArtefact struct{ res *PopularityResult }
+func (a *prefixArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
-func (a *popularityArtefact) Render(w io.Writer) { RenderTableII(w, a.res, 30) }
+type popularityArtefact struct {
+	res *PopularityResult
+	// topN is Table II's head size, threaded from Config (the scenario
+	// presets set it; DefaultPopularityTopN when unset).
+	topN int
+}
+
+func (a *popularityArtefact) Document() *report.Document {
+	return report.New(ExpPopularity, TableIISection(a.res, a.topN))
+}
+
+func (a *popularityArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type deanonArtefact struct{ rep *deanon.Report }
 
-func (a *deanonArtefact) Render(w io.Writer) { RenderFig3(w, a.rep) }
+func (a *deanonArtefact) Document() *report.Document {
+	return report.New(ExpDeanon, Fig3Section(a.rep))
+}
+
+func (a *deanonArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type serviceDeanonArtefact struct{ rep *deanon.ServiceReport }
 
-func (a *serviceDeanonArtefact) Render(w io.Writer) { RenderServiceDeanon(w, a.rep) }
+func (a *serviceDeanonArtefact) Document() *report.Document {
+	return report.New(ExpServiceDeanon, ServiceDeanonSection(a.rep))
+}
+
+func (a *serviceDeanonArtefact) Render(w io.Writer) { renderDocument(w, a) }
 
 type trackingArtefact struct{ res *TrackingResult }
 
-func (a *trackingArtefact) Render(w io.Writer) { RenderTracking(w, a.res) }
+func (a *trackingArtefact) Document() *report.Document {
+	return report.New(ExpTracking, TrackingSection(a.res))
+}
+
+func (a *trackingArtefact) Render(w io.Writer) { renderDocument(w, a) }

@@ -76,6 +76,9 @@ func NewEnv(cfg Config) (*Env, error) {
 	if cfg.TrackingDays < 0 {
 		return nil, fmt.Errorf("experiments: tracking days %d negative", cfg.TrackingDays)
 	}
+	if cfg.PopularityTopN < 0 {
+		return nil, fmt.Errorf("experiments: popularity topN %d negative", cfg.PopularityTopN)
+	}
 	return &Env{
 		cfg:       cfg,
 		sims:      make(map[int64]*memo[*relaynet.Sim]),

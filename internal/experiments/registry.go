@@ -1,17 +1,46 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
 
 	"torhs/internal/parallel"
+	"torhs/internal/report"
+	"torhs/internal/resultstore"
 )
 
 // Artefact is one finished experiment result that knows how to render
 // itself as the paper's tables and figures.
 type Artefact interface {
 	Render(w io.Writer)
+}
+
+// Documenter is an Artefact whose result is a typed report document.
+// Every paper artefact implements it; the registry falls back to raw
+// text capture for print-only extensions.
+type Documenter interface {
+	Document() *report.Document
+}
+
+// ArtefactDocument returns the artefact's typed document. Artefacts
+// registered outside this package that only know how to print fall back
+// to a raw section wrapping their rendered bytes, so the document's
+// text encoding equals Render's output for every artefact.
+func ArtefactDocument(name string, a Artefact) *report.Document {
+	if d, ok := a.(Documenter); ok {
+		return d.Document()
+	}
+	var buf bytes.Buffer
+	a.Render(&buf)
+	if buf.Len() == 0 {
+		// A raw section with empty Raw would fall through to the
+		// structured text encoding (heading + trailing blank); an
+		// artefact that printed nothing must encode to nothing.
+		return report.New(name)
+	}
+	return report.New(name, report.RawSection(name, buf.String()))
 }
 
 // ArtefactFunc adapts a closure to the Artefact interface, for
@@ -112,12 +141,10 @@ func (r *Registry) Describe(name string) string {
 	return ""
 }
 
-// Resolve expands names to their dependency closure, returned in render
-// order. nil or empty names selects every registered experiment.
-func (r *Registry) Resolve(names []string) ([]Experiment, error) {
-	if len(names) == 0 {
-		return append([]Experiment(nil), r.order...), nil
-	}
+// closure expands registered names to their transitive dependency
+// closure as a membership set — the one traversal Resolve and the
+// cache-aware scheduler share.
+func (r *Registry) closure(names []string) map[string]bool {
 	want := make(map[string]bool)
 	var add func(name string)
 	add = func(name string) {
@@ -130,11 +157,23 @@ func (r *Registry) Resolve(names []string) ([]Experiment, error) {
 		}
 	}
 	for _, name := range names {
+		add(name)
+	}
+	return want
+}
+
+// Resolve expands names to their dependency closure, returned in render
+// order. nil or empty names selects every registered experiment.
+func (r *Registry) Resolve(names []string) ([]Experiment, error) {
+	if len(names) == 0 {
+		return append([]Experiment(nil), r.order...), nil
+	}
+	for _, name := range names {
 		if _, ok := r.byName[name]; !ok {
 			return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", name, strings.Join(r.Names(), ", "))
 		}
-		add(name)
 	}
+	want := r.closure(names)
 	out := make([]Experiment, 0, len(want))
 	for _, e := range r.order {
 		if want[e.Name()] {
@@ -176,46 +215,207 @@ func (r *Registry) artefact(env *Env, name string) (Artefact, error) {
 // is byte-identical at every worker count and for every subset: each
 // experiment renders exactly the bytes it contributes to the full study.
 func (r *Registry) Run(env *Env, names []string, w io.Writer) error {
-	exps, err := r.Resolve(names)
-	if err != nil {
-		return err
+	_, err := r.RunStudy(env, RunOptions{Names: names}, w)
+	return err
+}
+
+// OutputVersion tags the pipeline code that determines rendered output.
+// It is part of every result-store cache key, so bumping it invalidates
+// persisted artefacts when an experiment or section builder changes
+// what it emits.
+const OutputVersion = "5"
+
+// RunOptions parameterises one pipeline invocation.
+type RunOptions struct {
+	// Names selects experiments (nil or empty = all registered).
+	Names []string
+	// Format is the output encoding (report.Formats; "" = text). Text
+	// output concatenates per-experiment documents byte-identically to
+	// the historical study render; other formats combine the selected
+	// documents into one and encode it once.
+	Format string
+	// Scenario names the preset the Env's config came from; it buckets
+	// the result store's serving index. Defaults to "custom" when a
+	// store is used without a name.
+	Scenario string
+	// Store, when non-nil, persists every produced document.
+	Store *resultstore.Store
+	// UseCache consults the store before scheduling: experiments whose
+	// documents are already persisted under the exact cache key are not
+	// executed (nor are dependencies only they would have needed), and
+	// their documents are served from the store instead.
+	UseCache bool
+}
+
+// RunResult reports what one pipeline invocation actually did.
+type RunResult struct {
+	// Executed lists every experiment that ran (selected or dependency),
+	// in render order.
+	Executed []string
+	// Cached lists the selected experiments served from the store
+	// without executing, in render order.
+	Cached []string
+}
+
+// storeKey builds the content-address key for one experiment's document
+// under this Env's configuration. The code version combines the
+// pipeline's output version with the report model's schema version, so
+// either kind of change invalidates persisted artefacts.
+func storeKey(cfg Config, scenario, experiment string) resultstore.Key {
+	return resultstore.Key{
+		Experiment:  experiment,
+		Scenario:    scenario,
+		Params:      cfg.CacheKey(),
+		CodeVersion: OutputVersion + "/" + report.SchemaVersion,
 	}
-	selected := make(map[string]bool, len(names))
-	if len(names) == 0 {
+}
+
+// RunStudy is Run with persistence and encoding options: it resolves
+// the selection, serves cache hits from the store, schedules only the
+// experiments that still need to execute (plus their dependency
+// closure) on the parallel DAG, persists fresh documents, and encodes
+// the selected documents to w (nil w skips encoding — store-only runs).
+func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult, error) {
+	format := opts.Format
+	if format == "" {
+		format = report.FormatText
+	}
+	if err := report.ValidFormat(format); err != nil {
+		return nil, err
+	}
+	scenario := opts.Scenario
+	if scenario == "" {
+		scenario = "custom"
+	}
+
+	exps, err := r.Resolve(opts.Names)
+	if err != nil {
+		return nil, err
+	}
+	selected := make(map[string]bool, len(opts.Names))
+	if len(opts.Names) == 0 {
 		for _, e := range exps {
 			selected[e.Name()] = true
 		}
 	} else {
-		for _, name := range names {
+		for _, name := range opts.Names {
 			selected[name] = true
 		}
 	}
 
+	// Cache pass: a selected experiment whose document is persisted
+	// under the exact key is served from the store and never scheduled.
+	cached := make(map[string]*report.Document)
+	cachedHash := make(map[string]string)
+	if opts.UseCache && opts.Store != nil {
+		for _, exp := range exps {
+			name := exp.Name()
+			if !selected[name] {
+				continue
+			}
+			doc, hash, ok, err := opts.Store.Get(storeKey(env.cfg, scenario, name))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cached[name] = doc
+				cachedHash[name] = hash
+			}
+		}
+	}
+
+	// The run set is the dependency closure of the non-cached selected
+	// experiments: dependencies of cache hits do not execute unless a
+	// miss still needs them.
+	var misses []string
+	for _, exp := range exps {
+		if selected[exp.Name()] && cached[exp.Name()] == nil {
+			misses = append(misses, exp.Name())
+		}
+	}
+	toRun := r.closure(misses)
+
+	res := &RunResult{}
 	d := parallel.NewDAG(env.cfg.Workers)
 	for _, exp := range exps {
 		name := exp.Name()
+		if !toRun[name] {
+			continue
+		}
+		res.Executed = append(res.Executed, name)
 		if err := d.Add(name, exp.Needs(), func() error {
 			_, err := r.artefact(env, name)
 			return err
 		}); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if err := d.Run(); err != nil {
-		return err
+		return nil, err
 	}
 
+	// Collect documents in render order. Every executed experiment —
+	// selected or dependency — persists its document, so a later run
+	// selecting the dependency alone is a cache hit. A cache hit that
+	// executed anyway (a miss depends on it) is reported as executed,
+	// not cached: Cached lists only experiments that truly skipped
+	// execution.
+	var docs []*report.Document
 	for _, exp := range exps {
-		if !selected[exp.Name()] {
-			continue
+		name := exp.Name()
+		doc := cached[name]
+		if doc != nil && toRun[name] {
+			doc = nil
 		}
-		a, err := r.artefact(env, exp.Name())
-		if err != nil {
-			return err
+		switch {
+		case doc != nil:
+			res.Cached = append(res.Cached, name)
+			// The key matched (the hash ignores the scenario label),
+			// but this label's serving slot may not exist yet — bind it
+			// so the run is servable under the label it asked for.
+			// Best-effort: the documents are in hand either way, and a
+			// read-only store (another user's, a shared mount) must not
+			// abort a fully-cached render.
+			_ = opts.Store.Bind(storeKey(env.cfg, scenario, name), cachedHash[name])
+		case toRun[name]:
+			a, err := r.artefact(env, name)
+			if err != nil {
+				return nil, err
+			}
+			doc = ArtefactDocument(name, a)
+			if opts.Store != nil {
+				if _, err := opts.Store.Put(storeKey(env.cfg, scenario, name), doc); err != nil {
+					return nil, err
+				}
+			}
 		}
-		a.Render(w)
+		if selected[name] && doc != nil {
+			docs = append(docs, doc)
+		}
 	}
-	return nil
+
+	if w == nil {
+		return res, nil
+	}
+	if format == report.FormatText {
+		// Concatenated per-document text: byte-identical to the
+		// historical study render and to every subset slice of it.
+		for _, doc := range docs {
+			if err := report.EncodeText(w, doc); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	combined := report.New(scenario)
+	if len(docs) > 0 {
+		combined = docs[0].Append(docs[1:]...)
+		combined.Title = scenario
+	}
+	if err := report.Encode(w, combined, format); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Experiment names of the paper registry, in the paper's artefact order.
@@ -285,7 +485,7 @@ func registerPaper(r *Registry) error {
 				if err != nil {
 					return nil, err
 				}
-				return &popularityArtefact{res: res}, nil
+				return &popularityArtefact{res: res, topN: e.cfg.popularityTopN()}, nil
 			}),
 		NewExperiment(ExpDeanon,
 			"Fig. 3: deanonymise the clients of the rank-1 Goldnet front",

@@ -9,184 +9,311 @@ import (
 	"torhs/internal/core/deanon"
 	"torhs/internal/core/scan"
 	"torhs/internal/corpus"
+	"torhs/internal/report"
 	"torhs/internal/stats"
 )
+
+// The section builders below turn each experiment result into a typed
+// report.Section — the single source of the paper's tables and figures.
+// Every node carries the printf format the pre-model pipeline rendered
+// with, so the text encoding of these sections is byte-identical to the
+// historical fmt output (pinned by the golden-file and determinism
+// tests); the JSON/Markdown/CSV encodings expose the same data
+// structurally. The RenderX functions remain as thin text-encode shims
+// for callers that still want printed output.
+
+// CollectionSection models the introduction's motivating gap:
+// link-graph crawling vs trawling.
+func CollectionSection(c *CollectionComparison) *report.Section {
+	return report.NewSection("collection", "Collection methods (introduction motivation)").
+		KVLine("services publishing descriptors: %d",
+			"published", report.Int(c.Published)).
+		KVLine("  link crawl from directory sites: %6d addresses (%4.1f%%)",
+			"crawlDiscovered", report.Int(c.CrawlDiscovered),
+			"crawlPercent", report.Float(c.CrawlFraction*100)).
+		KVLine("  trawling attack:                 %6d addresses (%4.1f%%)",
+			"trawlCollected", report.Int(c.TrawlCollected),
+			"trawlPercent", report.Float(c.TrawlFraction*100))
+}
 
 // RenderCollectionComparison prints the introduction's motivating gap:
 // link-graph crawling vs trawling.
 func RenderCollectionComparison(w io.Writer, c *CollectionComparison) {
-	fmt.Fprintf(w, "== Collection methods (introduction motivation) ==\n")
-	fmt.Fprintf(w, "services publishing descriptors: %d\n", c.Published)
-	fmt.Fprintf(w, "  link crawl from directory sites: %6d addresses (%4.1f%%)\n",
-		c.CrawlDiscovered, c.CrawlFraction*100)
-	fmt.Fprintf(w, "  trawling attack:                 %6d addresses (%4.1f%%)\n",
-		c.TrawlCollected, c.TrawlFraction*100)
-	fmt.Fprintln(w)
+	renderSection(w, CollectionSection(c))
+}
+
+// Fig1Section models the open-ports distribution (paper Fig. 1).
+func Fig1Section(res *scan.Result) *report.Section {
+	s := report.NewSection("fig1", "Fig. 1: open-ports distribution").
+		KVLine("addresses scanned: %d, with descriptor: %d, timeouts: %d",
+			"scanned", report.Int(res.TotalAddresses),
+			"withDescriptor", report.Int(res.WithDescriptor),
+			"timeouts", report.Int(res.Timeouts)).
+		KVLine("open ports: %d over %d unique port numbers, coverage %.0f%%",
+			"openPorts", report.Int(res.TotalOpenPorts),
+			"uniquePorts", report.Int(res.UniquePorts),
+			"coveragePercent", report.Float(res.Coverage*100))
+	fig := &report.Figure{ID: "ports", RowFormat: "  %-16s %6d", Columns: []string{"port", "count"}}
+	for _, row := range res.Fig1(50) {
+		fig.Points = append(fig.Points, report.Point{
+			Label:  row.Label,
+			Values: []report.Value{report.Int(row.Count)},
+		})
+	}
+	return s.AddFigure(fig)
 }
 
 // RenderFig1 prints the open-ports distribution (paper Fig. 1).
 func RenderFig1(w io.Writer, res *scan.Result) {
-	fmt.Fprintf(w, "== Fig. 1: open-ports distribution ==\n")
-	fmt.Fprintf(w, "addresses scanned: %d, with descriptor: %d, timeouts: %d\n",
-		res.TotalAddresses, res.WithDescriptor, res.Timeouts)
-	fmt.Fprintf(w, "open ports: %d over %d unique port numbers, coverage %.0f%%\n",
-		res.TotalOpenPorts, res.UniquePorts, res.Coverage*100)
-	for _, row := range res.Fig1(50) {
-		fmt.Fprintf(w, "  %-16s %6d\n", row.Label, row.Count)
-	}
-	fmt.Fprintln(w)
+	renderSection(w, Fig1Section(res))
+}
+
+// CertAuditSection models the Section III HTTPS-certificate findings.
+func CertAuditSection(a *scan.CertAudit) *report.Section {
+	return report.NewSection("cert-audit", "Section III: HTTPS certificates").
+		KVLine("HTTPS services: %d",
+			"httpsServices", report.Int(a.HTTPSServices)).
+		KVLine("self-signed, CN mismatch: %d (of which TorHost CN: %d)",
+			"selfSignedMismatch", report.Int(a.SelfSignedMismatch),
+			"torHostCN", report.Int(a.TorHostCN)).
+		KVLine("certificates leaking public DNS names: %d",
+			"dnsLeaks", report.Int(a.DNSLeaks))
 }
 
 // RenderCertAudit prints the Section III HTTPS-certificate findings.
 func RenderCertAudit(w io.Writer, a *scan.CertAudit) {
-	fmt.Fprintf(w, "== Section III: HTTPS certificates ==\n")
-	fmt.Fprintf(w, "HTTPS services: %d\n", a.HTTPSServices)
-	fmt.Fprintf(w, "self-signed, CN mismatch: %d (of which TorHost CN: %d)\n",
-		a.SelfSignedMismatch, a.TorHostCN)
-	fmt.Fprintf(w, "certificates leaking public DNS names: %d\n", a.DNSLeaks)
-	fmt.Fprintln(w)
+	renderSection(w, CertAuditSection(a))
+}
+
+// TableISection models the HTTP/HTTPS destinations per port (paper
+// Table I).
+func TableISection(res *content.Result) *report.Section {
+	s := report.NewSection("table1", "Table I: HTTP(S) destinations per port").
+		KVLine("attempted: %d, open at crawl: %d, connected: %d",
+			"attempted", report.Int(res.Attempted),
+			"openAtCrawl", report.Int(res.OpenAtCrawl),
+			"connected", report.Int(res.Connected))
+	tab := &report.Table{ID: "destinations", Columns: []string{"port", "count"}, RowFormat: "  %-6s %6d"}
+	for _, row := range res.TableI() {
+		tab.Rows = append(tab.Rows, []report.Value{report.String(row.Label), report.Int(row.Count)})
+	}
+	return s.AddTable(tab).
+		KVLine("excluded: short %d (SSH banners %d), 443 duplicates %d, error pages %d",
+			"excludedShort", report.Int(res.ExcludedShort),
+			"excludedSSHBanners", report.Int(res.ExcludedSSHBanners),
+			"excludedDup443", report.Int(res.ExcludedDup443),
+			"excludedError", report.Int(res.ExcludedError)).
+		KVLine("classified: %d",
+			"classified", report.Int(res.Classified))
 }
 
 // RenderTableI prints the HTTP/HTTPS destinations per port (paper
 // Table I).
 func RenderTableI(w io.Writer, res *content.Result) {
-	fmt.Fprintf(w, "== Table I: HTTP(S) destinations per port ==\n")
-	fmt.Fprintf(w, "attempted: %d, open at crawl: %d, connected: %d\n",
-		res.Attempted, res.OpenAtCrawl, res.Connected)
-	for _, row := range res.TableI() {
-		fmt.Fprintf(w, "  %-6s %6d\n", row.Label, row.Count)
-	}
-	fmt.Fprintf(w, "excluded: short %d (SSH banners %d), 443 duplicates %d, error pages %d\n",
-		res.ExcludedShort, res.ExcludedSSHBanners, res.ExcludedDup443, res.ExcludedError)
-	fmt.Fprintf(w, "classified: %d\n\n", res.Classified)
+	renderSection(w, TableISection(res))
 }
 
-// RenderLanguages prints the language mix of classified pages.
-func RenderLanguages(w io.Writer, res *content.Result) {
-	fmt.Fprintf(w, "== Section IV: language mix ==\n")
+// LanguagesSection models the language mix of classified pages.
+func LanguagesSection(res *content.Result) *report.Section {
+	s := report.NewSection("languages", "Section IV: language mix")
 	ranked := stats.RankCounts(res.LanguageCounts)
 	total := 0
 	for _, r := range ranked {
 		total += r.Count
 	}
+	fig := &report.Figure{ID: "languages", RowFormat: "  %-4s %5d (%4.1f%%)", Columns: []string{"language", "count", "percent"}}
 	for _, r := range ranked {
-		fmt.Fprintf(w, "  %-4s %5d (%4.1f%%)\n", r.Key, r.Count, 100*float64(r.Count)/float64(total))
+		fig.Points = append(fig.Points, report.Point{
+			Label:  r.Key,
+			Values: []report.Value{report.Int(r.Count), report.Float(100 * float64(r.Count) / float64(total))},
+		})
 	}
-	fmt.Fprintf(w, "languages found: %d\n\n", len(ranked))
+	return s.AddFigure(fig).
+		KVLine("languages found: %d", "languages", report.Int(len(ranked)))
+}
+
+// RenderLanguages prints the language mix of classified pages.
+func RenderLanguages(w io.Writer, res *content.Result) {
+	renderSection(w, LanguagesSection(res))
+}
+
+// Fig2Section models the topic distribution (paper Fig. 2).
+func Fig2Section(res *content.Result) *report.Section {
+	s := report.NewSection("fig2", "Fig. 2: topic distribution").
+		KVLine("English pages: %d (TorHost default: %d, topic-classified: %d)",
+			"englishTotal", report.Int(res.EnglishTotal),
+			"torhostDefault", report.Int(res.TorhostDefault),
+			"topicClassified", report.Int(res.EnglishTotal-res.TorhostDefault))
+	pct := res.TopicPercentages()
+	fig := &report.Figure{ID: "topics", RowFormat: "  %-18s %3d%%  (paper: %d%%)", Columns: []string{"topic", "percent", "paperPercent"}}
+	for _, t := range corpus.AllTopics() {
+		fig.Points = append(fig.Points, report.Point{
+			Label:  t.String(),
+			Values: []report.Value{report.Int(pct[t]), report.Int(corpus.PaperTopicPercent[t])},
+		})
+	}
+	return s.AddFigure(fig)
 }
 
 // RenderFig2 prints the topic distribution (paper Fig. 2).
 func RenderFig2(w io.Writer, res *content.Result) {
-	fmt.Fprintf(w, "== Fig. 2: topic distribution ==\n")
-	fmt.Fprintf(w, "English pages: %d (TorHost default: %d, topic-classified: %d)\n",
-		res.EnglishTotal, res.TorhostDefault, res.EnglishTotal-res.TorhostDefault)
-	pct := res.TopicPercentages()
-	for _, t := range corpus.AllTopics() {
-		fmt.Fprintf(w, "  %-18s %3d%%  (paper: %d%%)\n", t, pct[t], corpus.PaperTopicPercent[t])
-	}
-	fmt.Fprintln(w)
+	renderSection(w, Fig2Section(res))
 }
 
-// RenderTableII prints the popularity ranking (paper Table II), topN rows
-// plus the named below-top entries.
-func RenderTableII(w io.Writer, res *PopularityResult, topN int) {
-	fmt.Fprintf(w, "== Table II: most popular hidden services ==\n")
-	fmt.Fprintf(w, "collection: %d addresses (%.0f%% of published)\n",
-		len(res.Harvest.Addresses), res.Harvest.CollectedFraction*100)
-	fmt.Fprintf(w, "requests: %d total, %d unique descriptor IDs, %d resolved IDs -> %d addresses\n",
-		res.Resolution.TotalRequests, res.Resolution.UniqueIDs,
-		res.Resolution.ResolvedIDs, res.Resolution.ResolvedAddresses)
+// TableIISection models the popularity ranking (paper Table II), topN
+// rows plus the named below-top entries.
+func TableIISection(res *PopularityResult, topN int) *report.Section {
+	s := report.NewSection("table2", "Table II: most popular hidden services").
+		KVLine("collection: %d addresses (%.0f%% of published)",
+			"collected", report.Int(len(res.Harvest.Addresses)),
+			"collectedPercent", report.Float(res.Harvest.CollectedFraction*100)).
+		KVLine("requests: %d total, %d unique descriptor IDs, %d resolved IDs -> %d addresses",
+			"totalRequests", report.Int(res.Resolution.TotalRequests),
+			"uniqueIDs", report.Int(res.Resolution.UniqueIDs),
+			"resolvedIDs", report.Int(res.Resolution.ResolvedIDs),
+			"resolvedAddresses", report.Int(res.Resolution.ResolvedAddresses))
 	if res.Resolution.TotalRequests > 0 {
-		fmt.Fprintf(w, "unresolvable request share: %.0f%%\n",
-			100*float64(res.Resolution.TotalRequests-res.Resolution.ResolvedRequests)/
-				float64(res.Resolution.TotalRequests))
+		s.KVLine("unresolvable request share: %.0f%%",
+			"unresolvablePercent", report.Float(
+				100*float64(res.Resolution.TotalRequests-res.Resolution.ResolvedRequests)/
+					float64(res.Resolution.TotalRequests)))
 	}
 	if res.Harvest.PublishedIDsSeen > 0 {
-		fmt.Fprintf(w, "published descriptors ever requested: %d of %d (%.0f%%)\n",
-			res.Harvest.RequestedPublishedIDs, res.Harvest.PublishedIDsSeen,
-			res.Harvest.RequestedPublishedFraction()*100)
+		s.KVLine("published descriptors ever requested: %d of %d (%.0f%%)",
+			"requestedPublished", report.Int(res.Harvest.RequestedPublishedIDs),
+			"publishedSeen", report.Int(res.Harvest.PublishedIDsSeen),
+			"requestedPercent", report.Float(res.Harvest.RequestedPublishedFraction()*100))
 	}
+	tab := &report.Table{ID: "ranking", Columns: []string{"rank", "requests", "address", "label"}, RowFormat: "  %4d %7d  %s  %s"}
 	for _, e := range res.Ranking {
 		if e.Rank <= topN || (e.Label != "" && e.Label != "Skynet") {
-			fmt.Fprintf(w, "  %4d %7d  %s  %s\n", e.Rank, e.Requests, e.Addr.String(), e.Label)
+			tab.Rows = append(tab.Rows, []report.Value{
+				report.Int(e.Rank), report.Int(e.Requests),
+				report.String(e.Addr.String()), report.String(e.Label),
+			})
 		}
 		if e.Rank > 600 {
 			break
 		}
 	}
-	fmt.Fprintln(w)
+	return s.AddTable(tab)
 }
 
-// RenderPrefixAudit prints vanity-prefix clusters (the paper's "silkroa"
-// phishing observation).
-func RenderPrefixAudit(w io.Writer, clusters []PrefixCluster) {
-	fmt.Fprintf(w, "== Vanity-prefix clusters (phishing audit) ==\n")
+// RenderTableII prints the popularity ranking (paper Table II), topN rows
+// plus the named below-top entries.
+func RenderTableII(w io.Writer, res *PopularityResult, topN int) {
+	renderSection(w, TableIISection(res, topN))
+}
+
+// PrefixAuditSection models vanity-prefix clusters (the paper's
+// "silkroa" phishing observation).
+func PrefixAuditSection(clusters []PrefixCluster) *report.Section {
+	s := report.NewSection("prefix-audit", "Vanity-prefix clusters (phishing audit)")
 	if len(clusters) == 0 {
-		fmt.Fprintln(w, "no clusters found")
+		s.TextLines("no clusters found")
 	}
 	for _, c := range clusters {
-		fmt.Fprintf(w, "prefix %q: %d addresses\n", c.Prefix, len(c.Addresses))
+		s.KVLine("prefix %q: %d addresses",
+			"prefix", report.String(c.Prefix),
+			"addresses", report.Int(len(c.Addresses)))
+		tab := &report.Table{ID: "cluster-" + c.Prefix, Columns: []string{"address", "label"}, RowFormat: "  %s  %s"}
 		for i, a := range c.Addresses {
 			label := c.Labels[i]
 			if label == "" {
 				label = "<unlabelled>"
 			}
-			fmt.Fprintf(w, "  %s  %s\n", a.String(), label)
+			tab.Rows = append(tab.Rows, []report.Value{report.String(a.String()), report.String(label)})
 		}
+		s.AddTable(tab)
 	}
-	fmt.Fprintln(w)
+	return s
+}
+
+// RenderPrefixAudit prints vanity-prefix clusters (the paper's "silkroa"
+// phishing observation).
+func RenderPrefixAudit(w io.Writer, clusters []PrefixCluster) {
+	renderSection(w, PrefixAuditSection(clusters))
+}
+
+// Fig3Section models the deanonymised-client country map (paper Fig. 3).
+func Fig3Section(rep *deanon.Report) *report.Section {
+	s := report.NewSection("fig3", "Fig. 3: clients of a popular hidden service").
+		KVLine("target: %s", "target", report.String(rep.Target.String())).
+		KVLine("signatures sent: %d, detections: %d (rate %.2f), unique clients: %d",
+			"signaturesSent", report.Int(rep.SignaturesSent),
+			"detections", report.Int(len(rep.Detections)),
+			"detectionRate", report.Float(rep.DetectionRate),
+			"uniqueClients", report.Int(rep.UniqueClients))
+	fig := &report.Figure{ID: "countries", RowFormat: "  %-3s %5d", Columns: []string{"country", "clients"}}
+	for _, p := range rep.MapPoints() {
+		fig.Points = append(fig.Points, report.Point{
+			Label:  p.Key,
+			Values: []report.Value{report.Int(p.Count)},
+		})
+	}
+	return s.AddFigure(fig)
 }
 
 // RenderFig3 prints the deanonymised-client country map (paper Fig. 3).
 func RenderFig3(w io.Writer, rep *deanon.Report) {
-	fmt.Fprintf(w, "== Fig. 3: clients of a popular hidden service ==\n")
-	fmt.Fprintf(w, "target: %s\n", rep.Target.String())
-	fmt.Fprintf(w, "signatures sent: %d, detections: %d (rate %.2f), unique clients: %d\n",
-		rep.SignaturesSent, len(rep.Detections), rep.DetectionRate, rep.UniqueClients)
-	for _, p := range rep.MapPoints() {
-		fmt.Fprintf(w, "  %-3s %5d\n", p.Key, p.Count)
+	renderSection(w, Fig3Section(rep))
+}
+
+// ServiceDeanonSection models the Section II-B service-side guard
+// attack outcome.
+func ServiceDeanonSection(rep *deanon.ServiceReport) *report.Section {
+	s := report.NewSection("service-deanon", "Section II-B: service deanonymisation (the [8] attack)").
+		KVLine("target: %s", "target", report.String(rep.Target.String())).
+		KVLine("upload signatures sent: %d, guard hits: %d",
+			"signaturesSent", report.Int(rep.SignaturesSent),
+			"guardHits", report.Int(len(rep.Detections)))
+	if rep.Success {
+		s.KVLine("service deanonymised: IP %s (first hit on observation day %d)",
+			"revealedIP", report.String(rep.RevealedIP),
+			"daysToFirstDetection", report.Int(rep.DaysToFirstDetection))
+	} else {
+		s.TextLines("service not deanonymised in this window")
 	}
-	fmt.Fprintln(w)
+	return s
 }
 
 // RenderServiceDeanon prints the Section II-B service-side guard attack
 // outcome.
 func RenderServiceDeanon(w io.Writer, rep *deanon.ServiceReport) {
-	fmt.Fprintf(w, "== Section II-B: service deanonymisation (the [8] attack) ==\n")
-	fmt.Fprintf(w, "target: %s\n", rep.Target.String())
-	fmt.Fprintf(w, "upload signatures sent: %d, guard hits: %d\n",
-		rep.SignaturesSent, len(rep.Detections))
-	if rep.Success {
-		fmt.Fprintf(w, "service deanonymised: IP %s (first hit on observation day %d)\n",
-			rep.RevealedIP, rep.DaysToFirstDetection)
-	} else {
-		fmt.Fprintf(w, "service not deanonymised in this window\n")
-	}
-	fmt.Fprintln(w)
+	renderSection(w, ServiceDeanonSection(rep))
 }
 
-// RenderTracking prints the Section VII analysis.
-func RenderTracking(w io.Writer, res *TrackingResult) {
+// TrackingSection models the Section VII analysis.
+func TrackingSection(res *TrackingResult) *report.Section {
 	rep := res.Report
-	fmt.Fprintf(w, "== Section VII: tracking detection for %s ==\n",
-		res.Scenario.TargetAddress.String())
-	fmt.Fprintf(w, "window: %s .. %s (%d consensuses, mean HSDirs %.0f)\n",
-		rep.From.Format("2006-01-02"), rep.To.Format("2006-01-02"), rep.Days, rep.MeanHSDirs)
-	fmt.Fprintf(w, "relays ever responsible: %d, suspicious: %d\n",
-		len(rep.Relays), len(rep.Suspicious))
+	s := report.NewSection("tracking",
+		fmt.Sprintf("Section VII: tracking detection for %s", res.Scenario.TargetAddress.String())).
+		KVLine("window: %s .. %s (%d consensuses, mean HSDirs %.0f)",
+			"from", report.String(rep.From.Format("2006-01-02")),
+			"to", report.String(rep.To.Format("2006-01-02")),
+			"consensuses", report.Int(rep.Days),
+			"meanHSDirs", report.Float(rep.MeanHSDirs)).
+		KVLine("relays ever responsible: %d, suspicious: %d",
+			"relays", report.Int(len(rep.Relays)),
+			"suspicious", report.Int(len(rep.Suspicious)))
 	for _, idx := range rep.Suspicious {
 		r := rep.Relays[idx]
 		nick := ""
 		if len(r.Nicknames) > 0 {
 			nick = r.Nicknames[0]
 		}
-		fmt.Fprintf(w, "  relay %4d %-14s resp=%2d maxRatio=%-10.0f switches=%d reasons=%d\n",
-			r.RelayID, nick, r.TimesResponsible, r.MaxRatio, r.Switches, len(r.Reasons))
+		s.KVLine("  relay %4d %-14s resp=%2d maxRatio=%-10.0f switches=%d reasons=%d",
+			"relayID", report.Int(r.RelayID),
+			"nickname", report.String(nick),
+			"timesResponsible", report.Int(r.TimesResponsible),
+			"maxRatio", report.Float(r.MaxRatio),
+			"switches", report.Int(r.Switches),
+			"reasons", report.Int(len(r.Reasons)))
 		for _, reason := range r.Reasons {
-			fmt.Fprintf(w, "      - %s\n", reason)
+			s.TextLines("      - " + reason)
 		}
 	}
-	fmt.Fprintf(w, "episodes:\n")
+	s.TextLines("episodes:")
 	for _, ep := range rep.Episodes {
 		kind := "partial"
 		if ep.FullTakeover {
@@ -197,8 +324,23 @@ func RenderTracking(w io.Writer, res *TrackingResult) {
 			ids = append(ids, int(id))
 		}
 		sort.Ints(ids)
-		fmt.Fprintf(w, "  %-12s %s .. %s  members=%d  %s\n",
-			ep.Label, ep.From.Format("2006-01-02"), ep.To.Format("2006-01-02"), len(ids), kind)
+		s.KVLine("  %-12s %s .. %s  members=%d  %s",
+			"label", report.String(ep.Label),
+			"from", report.String(ep.From.Format("2006-01-02")),
+			"to", report.String(ep.To.Format("2006-01-02")),
+			"members", report.Int(len(ids)),
+			"kind", report.String(kind))
 	}
-	fmt.Fprintln(w)
+	return s
+}
+
+// RenderTracking prints the Section VII analysis.
+func RenderTracking(w io.Writer, res *TrackingResult) {
+	renderSection(w, TrackingSection(res))
+}
+
+// renderSection text-encodes one section as its own document — the shim
+// the RenderX functions share.
+func renderSection(w io.Writer, s *report.Section) {
+	_ = report.EncodeText(w, report.New(s.ID, s))
 }

@@ -57,6 +57,32 @@ type Config struct {
 	// TrackingDays overrides the Section VII scenario window length in
 	// days (0 = the tracking substrate's default).
 	TrackingDays int
+	// PopularityTopN is how many head rows Table II always prints
+	// (below-top rows still appear when labelled). 0 means
+	// DefaultPopularityTopN, the paper's 30.
+	PopularityTopN int
+}
+
+// DefaultPopularityTopN is the paper's Table II head size.
+const DefaultPopularityTopN = 30
+
+// popularityTopN resolves the Table II head size, applying the default.
+func (c Config) popularityTopN() int {
+	if c.PopularityTopN > 0 {
+		return c.PopularityTopN
+	}
+	return DefaultPopularityTopN
+}
+
+// CacheKey returns the canonical parameter string identifying every
+// study input that determines experiment output. Workers is excluded on
+// purpose: rendered output is byte-identical at every worker count (the
+// determinism tests pin this), so runs at different parallelism share
+// cache entries.
+func (c Config) CacheKey() string {
+	return fmt.Sprintf("seed=%d scale=%g clients=%d trawl-ips=%d trawl-steps=%d relays=%d bot-factor=%g tracking-days=%d popularity-topn=%d",
+		c.Seed, c.Scale, c.Clients, c.TrawlIPs, c.TrawlSteps, c.Relays,
+		c.BotFactor, c.TrackingDays, c.popularityTopN())
 }
 
 // DefaultConfig runs a laptop-scale study whose shapes match the paper.
@@ -68,14 +94,15 @@ func DefaultConfig(seed int64) Config {
 // configuration. Workers stays 0 (one per CPU); set it separately.
 func ConfigFromSpec(sp scenario.Spec, seed int64) Config {
 	return Config{
-		Seed:         seed,
-		Scale:        sp.Scale,
-		Clients:      sp.Clients,
-		TrawlIPs:     sp.TrawlIPs,
-		TrawlSteps:   sp.TrawlSteps,
-		Relays:       sp.Relays,
-		BotFactor:    sp.BotFactor,
-		TrackingDays: sp.TrackingDays,
+		Seed:           seed,
+		Scale:          sp.Scale,
+		Clients:        sp.Clients,
+		TrawlIPs:       sp.TrawlIPs,
+		TrawlSteps:     sp.TrawlSteps,
+		Relays:         sp.Relays,
+		BotFactor:      sp.BotFactor,
+		TrackingDays:   sp.TrackingDays,
+		PopularityTopN: sp.PopularityTopN,
 	}
 }
 

@@ -1,0 +1,287 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"torhs/internal/report"
+)
+
+// Server serves encoded report documents from a store over HTTP — the
+// first slice of the serving story: results are computed once by the
+// study pipeline, persisted content-addressed, and read here by any
+// number of concurrent clients with ETag-based caching.
+//
+// Routes:
+//
+//	GET /healthz                                   liveness probe
+//	GET /experiments                               JSON index of stored artefacts
+//	GET /report/{scenario}/{experiment}?format=F   encoded document (text|json|md|csv)
+type Server struct {
+	store *Store
+
+	// encoded caches rendered bytes per (contentHash, format): documents
+	// are immutable once content-addressed, so entries never go stale
+	// and concurrent readers share one encode. The cache is bounded (see
+	// maxEncodedEntries): when a repopulated store rebinds index slots
+	// to new content hashes, superseded encodings must not accumulate
+	// for the process lifetime.
+	mu      sync.RWMutex
+	encoded map[string][]byte
+
+	// listing caches the /experiments body briefly: the index walk
+	// reads and parses every entry file, which must not run once per
+	// poll on the serving path. listingTTL bounds staleness — a fresh
+	// hsstudy -out shows up within that window.
+	listingMu      sync.Mutex
+	listingBody    []byte
+	listingExpires time.Time
+
+	// entries caches index lookups per scenario/experiment for the same
+	// TTL, so hot /report paths (including 304 revalidations, which
+	// send no body at all) skip the per-request ReadFile+Unmarshal.
+	entriesMu sync.Mutex
+	entries   map[string]cachedEntry
+}
+
+type cachedEntry struct {
+	entry   *Entry // nil: a cached miss (404)
+	expires time.Time
+}
+
+// listingTTL is how long an /experiments response — and a cached index
+// entry — may be served from memory before re-reading the store.
+const listingTTL = 2 * time.Second
+
+// maxEncodedEntries bounds the encode cache. When exceeded the cache is
+// reset wholesale: entries are immutable and cheap to recompute, so a
+// rare full re-encode beats per-entry bookkeeping.
+const maxEncodedEntries = 512
+
+// NewServer wraps a store in an HTTP server.
+func NewServer(store *Store) *Server {
+	return &Server{
+		store:   store,
+		encoded: make(map[string][]byte),
+		entries: make(map[string]cachedEntry),
+	}
+}
+
+// lookupEntry is Store.Lookup behind the TTL cache.
+func (s *Server) lookupEntry(scenario, experiment string) (*Entry, error) {
+	key := scenario + "/" + experiment
+	s.entriesMu.Lock()
+	ce, ok := s.entries[key]
+	s.entriesMu.Unlock()
+	if ok && time.Now().Before(ce.expires) {
+		return ce.entry, nil
+	}
+	entry, err := s.store.Lookup(scenario, experiment)
+	if err != nil {
+		return nil, err
+	}
+	// Verify the entry's object actually exists before caching it:
+	// otherwise a pruned objects/ file would keep answering 304 to
+	// revalidating clients while cold reads fail — the corruption must
+	// surface to everyone.
+	if entry != nil {
+		if len(entry.ContentHash) < 32 {
+			return nil, fmt.Errorf("resultstore: corrupt index entry for %s/%s", scenario, experiment)
+		}
+		if _, statErr := os.Stat(s.store.shardPath("objects", entry.ContentHash)); statErr != nil {
+			return nil, fmt.Errorf("resultstore: index entry %s/%s points at missing object %s",
+				scenario, experiment, entry.ContentHash)
+		}
+	}
+	s.entriesMu.Lock()
+	if len(s.entries) >= maxEncodedEntries {
+		s.entries = make(map[string]cachedEntry)
+	}
+	s.entries[key] = cachedEntry{entry: entry, expires: time.Now().Add(listingTTL)}
+	s.entriesMu.Unlock()
+	return entry, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /report/{scenario}/{experiment}", s.handleReport)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// experimentsEntry is one row of the /experiments listing.
+type experimentsEntry struct {
+	Scenario    string `json:"scenario"`
+	Experiment  string `json:"experiment"`
+	ContentHash string `json:"contentHash"`
+	Params      string `json:"params"`
+	CodeVersion string `json:"codeVersion"`
+	Report      string `json:"report"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	body, err := s.listing()
+	if err != nil {
+		http.Error(w, "index walk failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// listing returns the /experiments body, re-walking the index at most
+// once per listingTTL.
+func (s *Server) listing() ([]byte, error) {
+	s.listingMu.Lock()
+	defer s.listingMu.Unlock()
+	if s.listingBody != nil && time.Now().Before(s.listingExpires) {
+		return s.listingBody, nil
+	}
+	entries, err := s.store.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]experimentsEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, experimentsEntry{
+			Scenario:    e.Key.Scenario,
+			Experiment:  e.Key.Experiment,
+			ContentHash: e.ContentHash,
+			Params:      e.Key.Params,
+			CodeVersion: e.Key.CodeVersion,
+			Report:      "/report/" + e.Key.Scenario + "/" + e.Key.Experiment,
+		})
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	s.listingBody = body
+	s.listingExpires = time.Now().Add(listingTTL)
+	return body, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	scenario := r.PathValue("scenario")
+	experiment := r.PathValue("experiment")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = report.FormatText
+	}
+	if err := report.ValidFormat(format); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Malformed path segments are the client's fault; anything Lookup
+	// reports after this point (I/O failures, corrupt entries) is ours.
+	if scenario == "" || experiment == "" || !pathSafe(scenario) || !pathSafe(experiment) {
+		http.Error(w, fmt.Sprintf("invalid report path %q/%q", scenario, experiment), http.StatusBadRequest)
+		return
+	}
+	entry, err := s.lookupEntry(scenario, experiment)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if entry == nil {
+		http.Error(w, "no stored report for "+scenario+"/"+experiment, http.StatusNotFound)
+		return
+	}
+	if len(entry.ContentHash) < 32 {
+		// A hand-edited or corrupt index entry must not panic the
+		// handler; report it as a server-side store problem.
+		http.Error(w, "corrupt index entry for "+scenario+"/"+experiment, http.StatusInternalServerError)
+		return
+	}
+
+	// The ETag is derived from the content hash: same document bytes,
+	// same tag, across processes and restarts.
+	etag := fmt.Sprintf("%q", entry.ContentHash[:32]+"-"+format)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	body, err := s.encodedBody(entry, format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", report.ContentType(format))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Content-Hash", entry.ContentHash)
+	_, _ = w.Write(body)
+}
+
+// etagMatches implements RFC 7232 If-None-Match semantics against one
+// entity tag: the header may be "*", a single tag, or a comma-separated
+// list, each optionally weak (W/ prefix) — weak comparison is correct
+// for 304s, and proxies coalesce validators into lists.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	target := strings.TrimPrefix(etag, "W/")
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if strings.TrimPrefix(cand, "W/") == target {
+			return true
+		}
+	}
+	return false
+}
+
+// encodedBody returns the document encoded in the format, serving
+// repeated reads from the immutable per-content-hash cache.
+func (s *Server) encodedBody(entry *Entry, format string) ([]byte, error) {
+	cacheKey := entry.ContentHash + "/" + format
+	s.mu.RLock()
+	body, ok := s.encoded[cacheKey]
+	s.mu.RUnlock()
+	if ok {
+		return body, nil
+	}
+
+	doc, err := s.store.Document(entry)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.Encode(&buf, doc, format); err != nil {
+		return nil, err
+	}
+	body = buf.Bytes()
+
+	s.mu.Lock()
+	// A concurrent encode of the same immutable content may have won;
+	// either copy is byte-identical, keep the first.
+	if prior, ok := s.encoded[cacheKey]; ok {
+		body = prior
+	} else {
+		if len(s.encoded) >= maxEncodedEntries {
+			s.encoded = make(map[string][]byte)
+		}
+		s.encoded[cacheKey] = body
+	}
+	s.mu.Unlock()
+	return body, nil
+}

@@ -1,0 +1,282 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"torhs/internal/report"
+)
+
+func testDoc(title string) *report.Document {
+	sec := report.NewSection("s", "Section "+title).
+		KVLine("count: %d", "count", report.Int(42))
+	return report.New(title, sec)
+}
+
+func testKey(experiment string) Key {
+	return Key{
+		Experiment:  experiment,
+		Scenario:    "smoke",
+		Params:      "seed=7 scale=0.02",
+		CodeVersion: "test-1",
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := testDoc("scan")
+	k := testKey("scan")
+
+	if _, _, ok, err := s.Get(k); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v err=%v, want clean miss", ok, err)
+	}
+	hash, err := s.Put(k, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object is addressed by the hash of its canonical encoding.
+	canon, err := report.CanonicalJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(canon)
+	if want := hex.EncodeToString(sum[:]); hash != want {
+		t.Fatalf("content hash %s, want sha256 of canonical JSON %s", hash, want)
+	}
+
+	back, gotHash, ok, err := s.Get(k)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if gotHash != hash {
+		t.Fatalf("Get hash %s != Put hash %s", gotHash, hash)
+	}
+	if !reflect.DeepEqual(doc, back) {
+		t.Fatalf("document did not round-trip through the store:\n%#v\nvs\n%#v", doc, back)
+	}
+
+	// Idempotent re-put.
+	again, err := s.Put(k, doc)
+	if err != nil || again != hash {
+		t.Fatalf("re-Put = (%s, %v), want same hash", again, err)
+	}
+}
+
+func TestKeyHashCoversOutputDeterminants(t *testing.T) {
+	base := testKey("scan")
+	seen := map[string]string{"base": base.Hash()}
+	for name, k := range map[string]Key{
+		"experiment": {Experiment: "scan2", Scenario: base.Scenario, Params: base.Params, CodeVersion: base.CodeVersion},
+		"params":     {Experiment: base.Experiment, Scenario: base.Scenario, Params: "seed=8", CodeVersion: base.CodeVersion},
+		"code":       {Experiment: base.Experiment, Scenario: base.Scenario, Params: base.Params, CodeVersion: "test-2"},
+	} {
+		h := k.Hash()
+		for prior, ph := range seen {
+			if h == ph {
+				t.Errorf("changing %s collides with %s", name, prior)
+			}
+		}
+		seen[name] = h
+	}
+	// The scenario label does NOT affect the cache address: the same
+	// parameters spelled via a preset or explicit flags must share one
+	// entry (it still buckets the serving index).
+	relabelled := base
+	relabelled.Scenario = "custom"
+	if relabelled.Hash() != base.Hash() {
+		t.Error("scenario label changed the cache hash; identical runs would spuriously miss")
+	}
+}
+
+func TestLookupAndList(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []string{"scan", "content"} {
+		if _, err := s.Put(testKey(exp), testDoc(exp)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other := testKey("scan")
+	other.Scenario = "laptop"
+	if _, err := s.Put(other, testDoc("scan-laptop")); err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := s.Lookup("smoke", "scan")
+	if err != nil || e == nil {
+		t.Fatalf("Lookup = (%v, %v)", e, err)
+	}
+	doc, err := s.Document(e)
+	if err != nil || doc.Title != "scan" {
+		t.Fatalf("Document = (%v, %v), want title scan", doc, err)
+	}
+	if miss, err := s.Lookup("smoke", "absent"); err != nil || miss != nil {
+		t.Fatalf("Lookup miss = (%v, %v), want (nil, nil)", miss, err)
+	}
+
+	entries, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range entries {
+		got = append(got, e.Key.Scenario+"/"+e.Key.Experiment)
+	}
+	want := []string{"laptop/scan", "smoke/content", "smoke/scan"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("List = %v, want %v (sorted)", got, want)
+	}
+}
+
+func TestNewerPutRebindsIndex(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := testKey("scan")
+	if _, err := s.Put(k1, testDoc("old")); err != nil {
+		t.Fatal(err)
+	}
+	k2 := k1
+	k2.CodeVersion = "test-2"
+	newHash, err := s.Put(k2, testDoc("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both keys still resolve; the serving index points at the latest.
+	if _, _, ok, _ := s.Get(k1); !ok {
+		t.Fatal("old key lost after rebind")
+	}
+	e, err := s.Lookup("smoke", "scan")
+	if err != nil || e == nil || e.ContentHash != newHash {
+		t.Fatalf("index entry = %+v, want content %s", e, newHash)
+	}
+}
+
+// TestListSkipsCorruptEntries: one bad index file must not fail the
+// whole listing (or the server startup that calls it).
+func TestListSkipsCorruptEntries(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testKey("scan"), testDoc("scan")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAtomic(s.indexPath("smoke", "broken"), []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.List()
+	if err != nil {
+		t.Fatalf("List failed on a corrupt sibling entry: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Key.Experiment != "scan" {
+		t.Fatalf("List = %v, want just the intact scan entry", entries)
+	}
+}
+
+// TestBindIsReadOnlyWhenAlreadyBound: re-binding a slot that already
+// points at the same content must write nothing, so fully-cached runs
+// succeed against read-only stores.
+func TestBindIsReadOnlyWhenAlreadyBound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("scan")
+	hash, err := s.Put(k, testDoc("scan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := s.indexPath(k.Scenario, k.Experiment)
+	before, err := os.Stat(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Bind(k, hash); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("Bind rewrote an already-bound index entry")
+	}
+	// A different label still binds (that is Bind's whole purpose).
+	other := k
+	other.Scenario = "laptop"
+	if err := s.Bind(other, hash); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := s.Lookup("laptop", "scan"); err != nil || e == nil || e.ContentHash != hash {
+		t.Fatalf("Bind under a new label = %+v, %v", e, err)
+	}
+}
+
+// TestStoreFilesWorldReadable: the producer (hsstudy -out) and the
+// server (hsserve) may run as different users; every stored file must
+// be readable beyond its owner, matching the 0755 directories.
+func TestStoreFilesWorldReadable(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testKey("scan"), testDoc("scan")); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if info.Mode().Perm()&0o044 != 0o044 {
+			t.Errorf("%s mode %v not group/world readable", path, info.Mode().Perm())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Key{
+		{Experiment: "", Scenario: "smoke"},
+		{Experiment: "scan", Scenario: ""},
+		{Experiment: "../scan", Scenario: "smoke"},
+		{Experiment: "scan", Scenario: "a/b"},
+		{Experiment: "sc an", Scenario: "smoke"},
+	} {
+		if _, err := s.Put(k, testDoc("x")); err == nil {
+			t.Errorf("Put(%+v) accepted", k)
+		}
+		if _, _, _, err := s.Get(k); err == nil {
+			t.Errorf("Get(%+v) accepted", k)
+		}
+	}
+	if _, err := s.Lookup("..", "scan"); err == nil {
+		t.Error("Lookup with traversal scenario accepted")
+	}
+	if _, err := s.ObjectBytes("../../etc/passwd"); err == nil {
+		t.Error("ObjectBytes with traversal accepted")
+	}
+}

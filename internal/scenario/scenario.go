@@ -57,6 +57,10 @@ type Spec struct {
 	// TrackingDays overrides the Section VII consensus-history window
 	// in days (0 = the tracking substrate's default).
 	TrackingDays int
+	// PopularityTopN is how many head rows Table II always prints
+	// (below-top rows still appear when labelled). 0 = the experiment
+	// default (the paper's 30).
+	PopularityTopN int
 }
 
 // TrackingWindow returns the Section VII history length in days: the
@@ -86,6 +90,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario %s: bot factor %v negative", s.Name, s.BotFactor)
 	case s.TrackingDays < 0:
 		return fmt.Errorf("scenario %s: tracking days %d negative", s.Name, s.TrackingDays)
+	case s.PopularityTopN < 0:
+		return fmt.Errorf("scenario %s: popularity topN %d negative", s.Name, s.PopularityTopN)
 	}
 	return nil
 }
@@ -95,51 +101,56 @@ func (s Spec) Validate() error {
 func Presets() []Spec {
 	return []Spec{
 		{
-			Name:        Laptop,
-			Description: "default 5%-scale study; paper shapes in seconds on one machine",
-			Scale:       0.05,
-			Clients:     1500,
-			TrawlIPs:    30,
-			TrawlSteps:  8,
-			Relays:      350,
+			Name:           Laptop,
+			Description:    "default 5%-scale study; paper shapes in seconds on one machine",
+			Scale:          0.05,
+			Clients:        1500,
+			TrawlIPs:       30,
+			TrawlSteps:     8,
+			Relays:         350,
+			PopularityTopN: 30,
 		},
 		{
-			Name:        Smoke,
-			Description: "smallest useful landscape, for demos and CI smoke runs",
-			Scale:       0.03,
-			Clients:     500,
-			TrawlIPs:    20,
-			TrawlSteps:  5,
-			Relays:      300,
+			Name:           Smoke,
+			Description:    "smallest useful landscape, for demos and CI smoke runs",
+			Scale:          0.03,
+			Clients:        500,
+			TrawlIPs:       20,
+			TrawlSteps:     5,
+			Relays:         300,
+			PopularityTopN: 30,
 		},
 		{
-			Name:        PaperScale,
-			Description: "the paper's Feb 2013 measurement: 39,824 services, 1,400 relays, 58-IP fleet",
-			Scale:       1.0,
-			Clients:     4000,
-			TrawlIPs:    58,
-			TrawlSteps:  12,
-			Relays:      1400,
+			Name:           PaperScale,
+			Description:    "the paper's Feb 2013 measurement: 39,824 services, 1,400 relays, 58-IP fleet",
+			Scale:          1.0,
+			Clients:        4000,
+			TrawlIPs:       58,
+			TrawlSteps:     12,
+			Relays:         1400,
+			PopularityTopN: 30,
 		},
 		{
-			Name:         Stress,
-			Description:  "full-scale landscape under 3x the paper's traffic and a doubled relay network",
-			Scale:        1.0,
-			Clients:      12000,
-			TrawlIPs:     116,
-			TrawlSteps:   24,
-			Relays:       2800,
-			TrackingDays: 240,
+			Name:           Stress,
+			Description:    "full-scale landscape under 3x the paper's traffic and a doubled relay network",
+			Scale:          1.0,
+			Clients:        12000,
+			TrawlIPs:       116,
+			TrawlSteps:     24,
+			Relays:         2800,
+			TrackingDays:   240,
+			PopularityTopN: 30,
 		},
 		{
-			Name:        BotnetHeavy,
-			Description: "Skynet-bot-skewed population with C&C-dominated traffic (Section III census)",
-			Scale:       0.05,
-			Clients:     3000,
-			TrawlIPs:    30,
-			TrawlSteps:  8,
-			Relays:      350,
-			BotFactor:   2.5,
+			Name:           BotnetHeavy,
+			Description:    "Skynet-bot-skewed population with C&C-dominated traffic (Section III census)",
+			Scale:          0.05,
+			Clients:        3000,
+			TrawlIPs:       30,
+			TrawlSteps:     8,
+			Relays:         350,
+			BotFactor:      2.5,
+			PopularityTopN: 30,
 		},
 	}
 }
