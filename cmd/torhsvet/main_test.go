@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"torhs/internal/analysis"
+)
+
+// TestRepoIsClean is the suite's own acceptance gate: torhsvet over the
+// whole module must exit 0 — every finding fixed or carrying an audited
+// suppression. The "torhs/..." pattern is cwd-independent (the test
+// binary runs in cmd/torhsvet).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"torhs/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("torhsvet torhs/... exited %d, want 0\n%s", code, stderr.String())
+	}
+}
+
+// TestListNamesEveryAnalyzer pins the -list contract the CI step and
+// README rely on.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d\n%s", code, stderr.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output misses analyzer %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestVersionStamp pins the -V=full handshake go vet uses to fingerprint
+// a vettool for its action cache.
+func TestVersionStamp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exited %d\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "torhsvet version ") {
+		t.Errorf("-V=full output %q does not match the `name version ...` shape cmd/go expects", out)
+	}
+}
+
+// TestFindingsExitNonzero runs the driver over a fixture package with
+// known violations and requires a failing exit code plus readable
+// positions — the contract that makes the CI step a real gate.
+func TestFindingsExitNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("torhsvet over the detrand fixture exited %d, want 2\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "time.Now is nondeterministic") {
+		t.Errorf("missing expected finding in output:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testAnalyzer loads one testdata package and checks the analyzer's
+// diagnostics against `// want "regex"` comments: every diagnostic must
+// match a want on its line, and every want must be matched — the golden
+// style of golang.org/x/tools/go/analysis/analysistest, over this
+// package's own loader.
+func testAnalyzer(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load(".", dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts `// want "re" "re"...` expectations, keyed by
+// file:line of the comment (a trailing comment shares the construct's
+// line).
+func parseWants(t *testing.T, pkg *Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for rest := strings.TrimSpace(text); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					}
+					rest = rest[len(q):]
+					unq, _ := strconv.Unquote(q)
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// assertNoDiags runs the analyzer over a fixture that must stay clean.
+func assertNoDiags(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := Load(".", dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+func TestDetOrderGolden(t *testing.T) {
+	testAnalyzer(t, DetOrder, "./testdata/src/detorder")
+}
+
+func TestDetRandGolden(t *testing.T) {
+	testAnalyzer(t, DetRand, "./testdata/src/detrand")
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	testAnalyzer(t, HotAlloc, "./testdata/src/hotalloc")
+}
+
+func TestCacheKeyGolden(t *testing.T) {
+	testAnalyzer(t, CacheKey, "./testdata/src/cachekey")
+}
+
+// TestOutOfScopeSilent pins the scope gate: the scope-driven analyzers
+// must say nothing about packages outside the deterministic set, however
+// nondeterministic their code.
+func TestOutOfScopeSilent(t *testing.T) {
+	assertNoDiags(t, DetOrder, "./testdata/src/outofscope")
+	assertNoDiags(t, DetRand, "./testdata/src/outofscope")
+}

@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CacheKey proves the cache-key contract: for every struct that
+// declares a CacheKey() method, every field — and every field of a
+// same-package struct reachable through it — is either consumed by
+// CacheKey (directly, through helper methods on the same receiver, or
+// by using the whole value) or carries an explicit
+// //torhs:nocachekey <reason> exemption. Adding a knob to
+// experiments.Config without threading it through CacheKey can
+// therefore never silently alias result-store entries: the analyzer
+// fails at the new field's line.
+//
+// Workers is the canonical exemption: output is byte-identical at every
+// worker count (pinned by the determinism tests), so runs at different
+// parallelism deliberately share cache entries.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc: "every field of a struct with a CacheKey() method must be consumed by CacheKey " +
+		"or carry //torhs:nocachekey <reason>",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	decls := funcDeclIndex(pass.Files, pass.TypesInfo)
+	structs := structDeclIndex(pass.Files, pass.TypesInfo)
+
+	for fn, fd := range decls {
+		if fn.Name() != "CacheKey" || fd.Recv == nil {
+			continue
+		}
+		recvType := recvNamed(fn)
+		if recvType == nil {
+			continue
+		}
+		st, ok := structs[recvType.Obj()]
+		if !ok {
+			continue
+		}
+		consumed := map[string]bool{}
+		consumeFunc(pass, fd, decls, "", consumed, map[*ast.FuncDecl]bool{})
+		checkStruct(pass, recvType.Obj().Name(), st, "", consumed, structs, map[*ast.StructType]bool{})
+	}
+	return nil
+}
+
+// recvNamed resolves a method's receiver base type.
+func recvNamed(fn *types.Func) *types.Named {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// structDeclIndex maps each named type declared in the package to its
+// struct literal, for field-directive lookup.
+func structDeclIndex(files []*ast.File, info *types.Info) map[*types.TypeName]*ast.StructType {
+	ix := map[*types.TypeName]*ast.StructType{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					ix[tn] = st
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// consumeFunc records, into consumed, the receiver field paths fn's
+// body reads: "Seed", "Sub.Days", or prefix+"*" when the whole receiver
+// escapes (passed as a value). Helper methods on the same receiver are
+// followed; methods on struct-typed fields are followed with the field
+// path as prefix.
+func consumeFunc(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl,
+	prefix string, consumed map[string]bool, seen map[*ast.FuncDecl]bool) {
+	if fd.Body == nil || seen[fd] {
+		return
+	}
+	seen[fd] = true
+	recv := recvObj(pass, fd)
+	if recv == nil {
+		// Unnamed receiver: the body cannot read fields.
+		return
+	}
+	parents := parentMap(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		path, method := selectorChain(pass, parents, id)
+		full := joinPath(prefix, path...)
+		switch {
+		case method != nil:
+			if mdecl, ok := decls[method]; ok {
+				consumeFunc(pass, mdecl, decls, full, consumed, seen)
+			} else {
+				// A method we cannot see (embedded / other package):
+				// assume it reads everything under its receiver.
+				consumed[joinPath(full, "*")] = true
+			}
+		case len(path) == 0:
+			// The bare receiver escapes (fmt.Sprintf("%v", c), f(c), a
+			// copy...): every field is consumed.
+			consumed[joinPath(prefix, "*")] = true
+		default:
+			consumed[full] = true
+		}
+		return true
+	})
+}
+
+func joinPath(prefix string, elem ...string) string {
+	parts := append([]string{}, elem...)
+	if prefix != "" {
+		parts = append(strings.Split(prefix, "."), parts...)
+	}
+	return strings.Join(parts, ".")
+}
+
+func recvObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// selectorChain climbs from a receiver identifier through enclosing
+// selector expressions, returning the field names traversed and, if the
+// chain ends in a method selection, that method.
+func selectorChain(pass *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) (fields []string, method *types.Func) {
+	var cur ast.Node = id
+	for {
+		parent := parents[cur]
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			cur = p
+			continue
+		}
+		sel, ok := parent.(*ast.SelectorExpr)
+		if !ok || sel.X != cur {
+			return fields, nil
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil {
+			// Qualified identifier or unresolved: stop.
+			return fields, nil
+		}
+		if _, ok := s.Obj().(*types.Func); ok {
+			return fields, s.Obj().(*types.Func)
+		}
+		fields = append(fields, sel.Sel.Name)
+		cur = sel
+	}
+}
+
+// parentMap records each node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkStruct verifies every field at this nesting level is consumed or
+// exempted, recursing into same-package struct-typed fields.
+func checkStruct(pass *Pass, typeName string, st *ast.StructType, prefix string,
+	consumed map[string]bool, structs map[*types.TypeName]*ast.StructType, seen map[*ast.StructType]bool) {
+	if seen[st] {
+		return
+	}
+	seen[st] = true
+	if consumed[joinPath(prefix, "*")] {
+		return
+	}
+	for _, field := range st.Fields.List {
+		names := fieldNames(pass, field)
+		for _, name := range names {
+			path := joinPath(prefix, name)
+			reason, exempt := fieldDirective(field, dirNoCacheKey)
+			isConsumed := consumed[path] || anyUnder(consumed, path)
+			if exempt {
+				switch {
+				case reason == "":
+					pass.Reportf(field.Pos(), "//torhs:nocachekey on %s.%s needs a reason", typeName, path)
+				case isConsumed:
+					pass.Reportf(field.Pos(), "%s.%s carries //torhs:nocachekey but IS consumed by CacheKey(): "+
+						"drop the directive or the read", typeName, path)
+				}
+				continue
+			}
+			if !isConsumed {
+				pass.Reportf(field.Pos(), "%s.%s is not consumed by CacheKey() and has no "+
+					"//torhs:nocachekey exemption: a config knob outside the cache key aliases "+
+					"result-store entries", typeName, path)
+				continue
+			}
+			// Whole-value consumption covers nested fields; otherwise a
+			// same-package struct field is checked field by field.
+			if !consumed[path] {
+				if nested := nestedStruct(pass, field, structs); nested != nil {
+					checkStruct(pass, typeName, nested, path, consumed, structs, seen)
+				}
+			}
+		}
+	}
+}
+
+// fieldNames lists a field's names; an embedded field contributes its
+// type name.
+func fieldNames(pass *Pass, field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	t := pass.TypesInfo.TypeOf(field.Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return []string{named.Obj().Name()}
+	}
+	return nil
+}
+
+// anyUnder reports whether some consumed path lies strictly under path
+// (path is a struct consumed via its subfields).
+func anyUnder(consumed map[string]bool, path string) bool {
+	p := path + "."
+	for c := range consumed {
+		if strings.HasPrefix(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// nestedStruct resolves a field's type to a struct declared in this
+// package, or nil.
+func nestedStruct(pass *Pass, field *ast.Field, structs map[*types.TypeName]*ast.StructType) *ast.StructType {
+	t := pass.TypesInfo.TypeOf(field.Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return structs[named.Obj()]
+}

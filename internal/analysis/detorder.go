@@ -1,0 +1,588 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder flags `for range` over maps in deterministic packages when
+// the loop body lets Go's randomized iteration order reach an
+// order-sensitive sink: a write to an outer variable, an append to a
+// slice that escapes unsorted, an early return/break, or a call with
+// potential side effects (output, report nodes, hashing).
+//
+// A map range is accepted when the body is provably order-insensitive:
+//   - writes only to per-key slots (map/slice indexed by the loop
+//     variables) or to variables declared inside the loop,
+//   - commutative accumulation into outer variables (+=, -=, *=, |=,
+//     &=, ^=, ++, --),
+//   - calls to pure functions (math, strings, strconv, bytes, unicode,
+//     conversions, len/cap/min/max/delete/make) or to functions
+//     annotated //torhs:orderinsensitive <reason>,
+//   - appends to an outer slice that is passed to sort.X / slices.SortX
+//     later in the same function (collect-then-sort),
+//   - ranges that bind neither key nor value (`for range m`): the body
+//     cannot observe the order.
+//
+// Anything else is a finding at the `for` line; fix it by sorting the
+// keys first, or suppress with //torhs:ignore detorder <reason> when
+// the order-insensitivity is real but beyond the analyzer.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flag map iteration whose order can reach study output in deterministic packages " +
+		"(sort keys first or use an order-insensitive accumulator)",
+	Run: runDetOrder,
+}
+
+// pureCallPackages are standard-library packages whose package-level
+// functions neither write output nor observe global state, so calling
+// them on loop-local values cannot leak iteration order.
+var pureCallPackages = map[string]bool{
+	"bytes":        true,
+	"math":         true,
+	"math/bits":    true,
+	"strconv":      true,
+	"strings":      true,
+	"unicode":      true,
+	"unicode/utf8": true,
+}
+
+// sortCalls are the recognized collect-then-sort fixups.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+func runDetOrder(pass *Pass) error {
+	if !InScope(pass.Pkg) {
+		return nil
+	}
+	decls := funcDeclIndex(pass.Files, pass.TypesInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil {
+					// `for range m`: the body cannot see key or value,
+					// so iteration order is unobservable.
+					return true
+				}
+				checkMapRange(pass, fd, rs, decls)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// violation is one order-sensitive construct found in a map-range body.
+type violation struct {
+	pos token.Pos
+	msg string
+	// sink names the outer slice an append targets; such violations are
+	// forgiven when the slice is sorted later in the same function.
+	sink string
+}
+
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, decls map[*types.Func]*ast.FuncDecl) {
+	c := &rangeChecker{pass: pass, rs: rs, decls: decls, constAssigns: map[string]map[string]token.Pos{}}
+	c.stmts(rs.Body.List, 0)
+	if c.accumulates {
+		c.violations = append(c.violations, c.breaks...)
+	}
+	for target, values := range c.constAssigns {
+		if len(values) > 1 {
+			for _, pos := range values {
+				c.violate(pos, "outer %s is set to different constants; the last map entry wins", target)
+				break
+			}
+		}
+	}
+
+	var kept []violation
+	for _, v := range c.violations {
+		if v.sink != "" && sortedLater(pass, fd, rs, v.sink) {
+			continue
+		}
+		kept = append(kept, v)
+	}
+	if len(kept) == 0 {
+		return
+	}
+	first := kept[0]
+	extra := ""
+	if len(kept) > 1 {
+		extra = fmt.Sprintf(" (+%d more)", len(kept)-1)
+	}
+	pass.Reportf(rs.For, "map iteration order can reach output: %s at line %d%s; "+
+		"sort the keys first or annotate //torhs:ignore detorder <reason>",
+		first.msg, pass.Position(first.pos).Line, extra)
+}
+
+// rangeChecker walks one map-range body collecting order-sensitive
+// constructs.
+type rangeChecker struct {
+	pass       *Pass
+	rs         *ast.RangeStmt
+	decls      map[*types.Func]*ast.FuncDecl
+	violations []violation
+
+	// constAssigns tracks idempotent constant stores to outer targets
+	// (flag = true): benign alone, order-sensitive when one target sees
+	// two distinct constants.
+	constAssigns map[string]map[string]token.Pos
+	// accumulates records that the body has outer effects (+=, ++, map
+	// writes, appends, deletes) beyond idempotent constant stores; an
+	// early break then truncates those effects to an order-dependent
+	// prefix.
+	accumulates bool
+	// breaks are tentative break/early-exit findings, kept only when
+	// the body accumulates.
+	breaks []violation
+}
+
+func (c *rangeChecker) violate(pos token.Pos, format string, args ...any) {
+	c.violations = append(c.violations, violation{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// inner reports whether obj is declared within the range statement
+// (loop variables included).
+func (c *rangeChecker) inner(obj types.Object) bool {
+	return declaredWithin(obj, c.rs)
+}
+
+func (c *rangeChecker) objOf(id *ast.Ident) types.Object {
+	if obj, ok := c.pass.TypesInfo.Uses[id]; ok {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// usesLoopVar reports whether e mentions the range's key or value
+// variable (directly or through an expression over them).
+func (c *rangeChecker) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.objOf(id); obj != nil && c.inner(obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// depth counts enclosing breakable statements inside the map range, so
+// a `break` that exits only an inner loop or switch is accepted.
+func (c *rangeChecker) stmts(list []ast.Stmt, depth int) {
+	for _, s := range list {
+		c.stmt(s, depth)
+	}
+}
+
+func (c *rangeChecker) stmt(s ast.Stmt, depth int) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			// In `buf = f(buf[:0], ...)` the top-level call is part of the
+			// scratch-rewrite idiom: f's output is consumed per iteration
+			// through buf, so only its remaining arguments need checking.
+			if s.Tok != token.DEFINE && len(s.Lhs) == len(s.Rhs) &&
+				c.scratchRewrite(ast.Unparen(s.Lhs[i]), rhs) {
+				call := ast.Unparen(rhs).(*ast.CallExpr)
+				for _, a := range call.Args[1:] {
+					c.expr(a)
+				}
+				continue
+			}
+			c.expr(rhs)
+		}
+		if s.Tok == token.DEFINE {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			c.assign(lhs, s.Tok, rhs)
+		}
+	case *ast.IncDecStmt:
+		// Counters commute; ++/-- on any target is order-insensitive.
+		if base := baseIdent(s.X); base != nil {
+			if obj := c.objOf(base); obj == nil || !c.inner(obj) {
+				c.accumulates = true
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, depth)
+		}
+		c.expr(s.Cond)
+		c.stmts(s.Body.List, depth)
+		if s.Else != nil {
+			c.stmt(s.Else, depth)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, depth)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, depth)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, depth)
+		}
+		c.stmts(s.Body.List, depth+1)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		if s.Tok == token.ASSIGN {
+			if s.Key != nil {
+				c.assign(s.Key, token.ASSIGN, nil)
+			}
+			if s.Value != nil {
+				c.assign(s.Value, token.ASSIGN, nil)
+			}
+		}
+		c.stmts(s.Body.List, depth+1)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, depth)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, e := range cl.List {
+				c.expr(e)
+			}
+			c.stmts(cl.Body, depth+1)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, depth)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			c.stmts(cl.Body, depth+1)
+		}
+	case *ast.BranchStmt:
+		switch {
+		case s.Label != nil:
+			c.violate(s.Pos(), "labeled %s can exit the map range after an order-dependent prefix", s.Tok)
+		case s.Tok == token.BREAK && depth == 0:
+			// Benign in the any()-pattern (idempotent store, then
+			// break); order-sensitive once the body accumulates.
+			c.breaks = append(c.breaks, violation{pos: s.Pos(),
+				msg: "break exits the map range after an order-dependent prefix of accumulated effects"})
+		case s.Tok == token.GOTO:
+			c.violate(s.Pos(), "goto inside map range")
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e)
+		}
+		c.violate(s.Pos(), "return inside map range selects an order-dependent entry")
+	case *ast.DeferStmt:
+		c.violate(s.Pos(), "defer inside map range runs in iteration order")
+	case *ast.GoStmt:
+		c.violate(s.Pos(), "goroutine launched per map entry observes iteration order")
+	case *ast.SendStmt:
+		c.violate(s.Pos(), "channel send inside map range publishes entries in iteration order")
+	case *ast.SelectStmt:
+		c.violate(s.Pos(), "select inside map range")
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, depth)
+	case *ast.EmptyStmt:
+	default:
+		c.violate(s.Pos(), "statement kind %T not proven order-insensitive", s)
+	}
+}
+
+// assign classifies one non-define assignment target inside the body.
+func (c *rangeChecker) assign(lhs ast.Expr, tok token.Token, rhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.IndexExpr:
+		// Writes into per-key slots commute across distinct keys. A
+		// loop-independent index (counts[j] with an outer j) serializes
+		// entries in iteration order instead.
+		if base := baseIdent(l.X); base != nil {
+			if obj := c.objOf(base); obj != nil && c.inner(obj) {
+				return
+			}
+		}
+		c.accumulates = true
+		if !c.usesLoopVar(l.Index) {
+			c.violate(l.Pos(), "indexed write with a loop-independent index stores entries in iteration order")
+		}
+		return
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := c.objOf(l)
+		if obj != nil && c.inner(obj) {
+			return
+		}
+		if commutativeAssign(tok) {
+			c.accumulates = true
+			return
+		}
+		if c.scratchRewrite(lhs, rhs) {
+			c.accumulates = true
+			return
+		}
+		if c.constAssign(lhs, rhs) {
+			return
+		}
+		if sink, ok := c.selfAppend(lhs, rhs); ok {
+			c.accumulates = true
+			c.violations = append(c.violations, violation{
+				pos:  lhs.Pos(),
+				msg:  fmt.Sprintf("append to %s escapes in iteration order (sort it before use)", sink),
+				sink: sink,
+			})
+			return
+		}
+		c.violate(lhs.Pos(), "assignment to outer variable %s depends on iteration order", l.Name)
+	case *ast.SelectorExpr, *ast.StarExpr:
+		if base := baseIdent(lhs); base != nil {
+			if obj := c.objOf(base); obj != nil && c.inner(obj) {
+				return
+			}
+		}
+		if commutativeAssign(tok) {
+			c.accumulates = true
+			return
+		}
+		if c.scratchRewrite(lhs, rhs) {
+			c.accumulates = true
+			return
+		}
+		if c.constAssign(lhs, rhs) {
+			return
+		}
+		if sink, ok := c.selfAppend(lhs, rhs); ok {
+			c.accumulates = true
+			c.violations = append(c.violations, violation{
+				pos:  lhs.Pos(),
+				msg:  fmt.Sprintf("append to %s escapes in iteration order (sort it before use)", sink),
+				sink: sink,
+			})
+			return
+		}
+		c.violate(lhs.Pos(), "assignment through outer target depends on iteration order")
+	default:
+		c.violate(lhs.Pos(), "assignment target not proven order-insensitive")
+	}
+}
+
+// commutativeAssign reports whether the compound assignment operator
+// commutes across iterations (sum, product, bitwise accumulate).
+func commutativeAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// constAssign records `outer = <constant>` stores: one constant per
+// target is idempotent (the any()-pattern flag = true); two distinct
+// constants make the last-iterated entry win, which checkMapRange turns
+// into a violation.
+func (c *rangeChecker) constAssign(lhs, rhs ast.Expr) bool {
+	if rhs == nil {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[rhs]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	target := types.ExprString(lhs)
+	if c.constAssigns[target] == nil {
+		c.constAssigns[target] = map[string]token.Pos{}
+	}
+	if _, ok := c.constAssigns[target][tv.Value.String()]; !ok {
+		c.constAssigns[target][tv.Value.String()] = lhs.Pos()
+	}
+	return true
+}
+
+// scratchRewrite matches the scratch-buffer idiom
+// `buf = f(buf[:0], ...)`: the buffer's value is fully rewritten every
+// iteration (only its capacity carries over), so the assignment cannot
+// transport iteration order between entries.
+func (c *rangeChecker) scratchRewrite(lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sl, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || sl.Low != nil || sl.High == nil {
+		return false
+	}
+	high, ok := ast.Unparen(sl.High).(*ast.BasicLit)
+	if !ok || high.Value != "0" {
+		return false
+	}
+	return types.ExprString(ast.Unparen(sl.X)) == types.ExprString(lhs)
+}
+
+// selfAppend matches `x = append(x, ...)` (including x.f / x[i]
+// targets), the collect-then-sort sink shape; sink is the rendered
+// target expression.
+func (c *rangeChecker) selfAppend(lhs, rhs ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || calleeBuiltin(c.pass.TypesInfo, call) != "append" || len(call.Args) == 0 {
+		return "", false
+	}
+	target := types.ExprString(lhs)
+	if types.ExprString(ast.Unparen(call.Args[0])) != target {
+		return "", false
+	}
+	return target, true
+}
+
+// expr flags order-sensitive calls within an expression: anything with
+// potential side effects (output writers, report builders, hashing)
+// that is not a conversion, a pure builtin, a pure stdlib helper, or an
+// annotated order-insensitive accumulator.
+func (c *rangeChecker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs only if something calls it; the
+			// carrying call is what gets classified.
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *rangeChecker) call(call *ast.CallExpr) {
+	if isConversion(c.pass.TypesInfo, call) {
+		return
+	}
+	if b := calleeBuiltin(c.pass.TypesInfo, call); b != "" {
+		switch b {
+		case "delete":
+			c.accumulates = true
+			return
+		case "len", "cap", "min", "max", "append", "copy", "make", "new", "real", "imag", "complex":
+			return
+		default:
+			// panic, print, println, clear, close: the observable
+			// effect depends on which entry triggers it first.
+			c.violate(call.Pos(), "builtin %s inside map range has order-dependent effect", b)
+			return
+		}
+	}
+	fn := calleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		c.violate(call.Pos(), "indirect call not proven order-insensitive")
+		return
+	}
+	if pureCallPackages[pkgPath(fn)] && isPackageLevel(fn) {
+		return
+	}
+	// Sorting a loop-local slice normalizes its order — the opposite of
+	// leaking iteration order.
+	if sortCalls[pkgPath(fn)][fn.Name()] && len(call.Args) > 0 {
+		if base := baseIdent(ast.Unparen(call.Args[0])); base != nil {
+			if obj := c.objOf(base); obj != nil && c.inner(obj) {
+				return
+			}
+		}
+	}
+	if pureMethod(fn) {
+		return
+	}
+	if decl, ok := c.decls[fn]; ok {
+		if _, ok := hasDirective(decl.Doc, dirOrderInsensitive); ok {
+			return
+		}
+	}
+	c.violate(call.Pos(), "call to %s may observe iteration order (side effects)", fn.Name())
+}
+
+// pureMethod accepts methods of time.Time / time.Duration (IsZero,
+// Before, Unix, ...): pure value computations with no way to observe
+// or leak iteration order.
+func pureMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time"
+}
+
+// sortedLater reports whether the named sink expression is passed to a
+// recognized sort call after the range statement in the same function —
+// the collect-then-sort idiom (see runPrefixAudit).
+func sortedLater(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, sink string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() || found {
+			return !found
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || !sortCalls[pkgPath(fn)][fn.Name()] || len(call.Args) == 0 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		// sort.Sort(byCount(s)) wraps the slice in a conversion or
+		// constructor; unwrap single-argument calls.
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = ast.Unparen(inner.Args[0])
+		}
+		if types.ExprString(arg) == sink {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

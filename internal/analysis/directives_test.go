@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectivesMalformed(t *testing.T) {
+	cases := []struct {
+		name, comment, wantMsg string
+	}{
+		{"no analyzer", "//torhs:ignore", "needs an analyzer name and a reason"},
+		{"unknown analyzer", "//torhs:ignore nosuch because reasons", `unknown analyzer "nosuch"`},
+		{"no reason", "//torhs:ignore detorder", "needs a reason"},
+		{"unknown kind", "//torhs:frobnicate", "unknown directive //torhs:frobnicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, files := parseSrc(t, "package p\n\n"+tc.comment+"\nvar X int\n")
+			_, diags := parseDirectives(fset, files)
+			if len(diags) != 1 {
+				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+			}
+			if d := diags[0]; d.Analyzer != diagDirective || !strings.Contains(d.Message, tc.wantMsg) {
+				t.Errorf("got [%s] %q, want message containing %q", d.Analyzer, d.Message, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//torhs:ignore detorder the construct below is audited
+var A int
+var B int
+`)
+	ix, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected parse diagnostics: %v", diags)
+	}
+	// Fabricate findings on the directive line (3), the line below (4),
+	// and two lines below (5): the first two are covered, the last not.
+	base := fset.File(files[0].Pos())
+	mk := func(line int) Diagnostic {
+		return Diagnostic{Pos: base.LineStart(line), Analyzer: "detorder", Message: "finding"}
+	}
+	found := []Diagnostic{mk(3), mk(4), mk(5)}
+	unused := ix.apply(fset, found)
+	if len(unused) != 0 {
+		t.Fatalf("directive should be used, got unused diagnostics: %v", unused)
+	}
+	if !found[0].suppressed || !found[1].suppressed {
+		t.Errorf("findings on the directive line and the next line must be suppressed: %+v", found[:2])
+	}
+	if found[2].suppressed {
+		t.Errorf("finding two lines below the directive must NOT be suppressed")
+	}
+}
+
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//torhs:ignore detrand wall clock audited
+var A int
+`)
+	ix, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected parse diagnostics: %v", diags)
+	}
+	base := fset.File(files[0].Pos())
+	found := []Diagnostic{{Pos: base.LineStart(4), Analyzer: "detorder", Message: "finding"}}
+	unused := ix.apply(fset, found)
+	if found[0].suppressed {
+		t.Errorf("an ignore for detrand must not suppress a detorder finding")
+	}
+	if len(unused) != 1 || !strings.Contains(unused[0].Message, "unused //torhs:ignore detrand") {
+		t.Errorf("the unmatched directive must be reported unused, got %v", unused)
+	}
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+//torhs:ignore detorder nothing here needs this
+var A int
+`)
+	ix, diags := parseDirectives(fset, files)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected parse diagnostics: %v", diags)
+	}
+	unused := ix.apply(fset, nil)
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-directive diagnostics, want 1: %v", len(unused), unused)
+	}
+	d := unused[0]
+	if d.Analyzer != diagDirective || !strings.Contains(d.Message, "unused //torhs:ignore detorder") {
+		t.Errorf("got [%s] %q", d.Analyzer, d.Message)
+	}
+}

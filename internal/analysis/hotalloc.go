@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc flags allocation-forcing constructs inside functions
+// annotated //torhs:hotpath, giving the AllocsPerRun regression tests
+// line-level attribution. Flagged constructs:
+//
+//   - fmt package calls (argument boxing + formatting buffers),
+//   - non-constant string <-> []byte / []rune conversions,
+//   - make / new / &T{} / slice, map, and chan composite literals,
+//   - append that starts a new backing array (`y = append(x, ...)` with
+//     y != x); reuse shapes — x = append(x, ...), append(buf[:0], ...),
+//     and `return append(dst, ...)` where dst is a parameter (the
+//     caller-owned-growth Into idiom) — are accepted,
+//   - function literals that capture outer variables (possible closure
+//     heap allocation),
+//   - interface boxing: passing a concrete non-pointer-shaped value to
+//     an interface parameter,
+//   - non-constant string concatenation.
+//
+// Cold paths inside a hot function (error exits, once-per-call setup)
+// carry //torhs:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-forcing constructs in //torhs:hotpath functions " +
+		"(fmt, make/new/composite literals, fresh append backing, capturing closures, interface boxing)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := hasDirective(fd.Doc, dirHotPath); !ok {
+				continue
+			}
+			checkHotPath(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotPath(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates if it escapes; reuse a scratch value")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				pass.Reportf(n.Pos(), "%s literal allocates; hoist it out of the hot path or reuse scratch",
+					kindName(info.TypeOf(n)))
+			}
+		case *ast.FuncLit:
+			if capturesOuter(info, n) {
+				pass.Reportf(n.Pos(), "closure captures outer variables and may heap-allocate; "+
+					"pass state explicitly or hoist the closure")
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !isConstExpr(info, n) {
+				if b, ok := info.TypeOf(n).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "string concatenation allocates; use an append-based builder outside the hot path")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return "composite"
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if isConversion(info, call) {
+		checkHotConversion(pass, call)
+		return
+	}
+	switch calleeBuiltin(info, call) {
+	case "make":
+		pass.Reportf(call.Pos(), "make allocates; hoist it out of the hot path or reuse scratch")
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new allocates; reuse a scratch value")
+		return
+	case "append":
+		checkHotAppend(pass, fd, call)
+		return
+	case "":
+	default:
+		return
+	}
+
+	if fn := calleeFunc(info, call); fn != nil && pkgPath(fn) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (boxes every argument); move formatting off the hot path",
+			fn.Name())
+		return
+	}
+	checkBoxing(pass, call)
+}
+
+// checkHotConversion flags conversions that copy their operand to the
+// heap: string <-> []byte / []rune and rune -> string.
+func checkHotConversion(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if len(call.Args) != 1 || isConstExpr(info, call) {
+		return
+	}
+	to := info.TypeOf(call)
+	from := info.TypeOf(call.Args[0])
+	if isString(to) && (isByteOrRuneSlice(from) || isBasicInfo(from, types.IsInteger)) {
+		pass.Reportf(call.Pos(), "conversion to string copies; keep the hot path on []byte")
+	} else if isByteOrRuneSlice(to) && isString(from) {
+		pass.Reportf(call.Pos(), "conversion from string copies; keep the hot path on []byte")
+	}
+}
+
+func isString(t types.Type) bool { return isBasicInfo(t, types.IsString) }
+
+func isBasicInfo(t types.Type, info types.BasicInfo) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&info != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// checkHotAppend accepts the amortized-growth and scratch-reuse shapes
+// and flags appends that must start a fresh backing array.
+func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg0 := ast.Unparen(call.Args[0])
+	// append(buf[:0], ...) and friends: a reslice reuses an existing
+	// backing array, so growth is amortized against caller-owned memory.
+	if _, ok := arg0.(*ast.SliceExpr); ok {
+		return
+	}
+	target := appendTarget(pass, fd, call)
+	src := types.ExprString(arg0)
+	if target == src {
+		// x = append(x, ...): amortized growth against reused backing.
+		return
+	}
+	if target == "" && returnsParam(pass, fd, call, arg0) {
+		// return append(dst, ...): the Into idiom — the caller owns
+		// dst's growth and amortizes it.
+		return
+	}
+	pass.Reportf(call.Pos(), "append into a different slice than its source starts a new backing array; "+
+		"append in place or reuse scratch")
+}
+
+// appendTarget renders the assignment target when the append call is
+// an RHS of an assignment in fd ("" otherwise). The parent link comes
+// from a positional walk since go/ast has no parent pointers.
+func appendTarget(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) string {
+	target := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) == 0 {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+				target = types.ExprString(ast.Unparen(as.Lhs[i]))
+			}
+		}
+		return true
+	})
+	return target
+}
+
+// returnsParam reports whether the call appears in a return statement
+// and its first argument's base is one of fd's parameters.
+func returnsParam(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, arg0 ast.Expr) bool {
+	base := baseIdent(arg0)
+	if base == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[base]
+	if obj == nil || fd.Type.Params == nil || !declaredWithin(obj, fd.Type.Params) {
+		return false
+	}
+	inReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, r := range ret.Results {
+				if ast.Unparen(r) == call {
+					inReturn = true
+				}
+			}
+		}
+		return !inReturn
+	})
+	return inReturn
+}
+
+// capturesOuter reports whether the literal references variables
+// declared outside it (closure capture).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true
+		}
+		if !declaredWithin(v, lit) {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed to
+// interface parameters: the value is copied to the heap to build the
+// interface word.
+func checkBoxing(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) || isConstExpr(info, arg) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to an interface parameter boxes it on the heap", at)
+	}
+}
+
+// isPointerShaped reports types whose interface representation reuses
+// the value itself (no boxing allocation).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

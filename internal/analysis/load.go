@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	Path      string // import path
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test Go files only
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load expands patterns (as the go command would, relative to dir),
+// parses every matched package's non-test files, and type-checks them
+// against compiler export data produced by `go list -export`. The whole
+// pipeline is offline: it needs only the go toolchain and the module
+// source.
+//
+// Test files are deliberately excluded: the determinism, hot-path, and
+// cache-key contracts bind the shipped code; tests are free to iterate
+// maps and stamp times.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, t listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+	}
+	return &Package{
+		Path:      t.ImportPath,
+		Name:      t.Name,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+//go:generate go run torhs/internal/analysis/internal/scopegen
+
+// DeterministicPackages is the single source of truth for which
+// packages are under the byte-identical-output contract: detorder and
+// detrand apply to exactly these. Entries are package names; the
+// generated scopeImportPaths table (scope_paths.go, kept in sync by
+// `go generate` and TestScopeMatchesModulePackages) pins each name to
+// its real import path in this module.
+//
+// To put a new package under the contract: add its name here, run
+// `go generate ./internal/analysis`, and burn down the findings.
+var DeterministicPackages = []string{
+	"experiments",
+	"hsdir",
+	"hspop",
+	"popularity",
+	"report",
+	"simnet",
+	"tracking",
+	"trawl",
+}
+
+// InScope reports whether pkg is under the determinism contract: its
+// import path is a pinned scope path, or — so analysistest fixtures and
+// future renames participate by name — its package name appears in
+// DeterministicPackages.
+func InScope(pkg *types.Package) bool {
+	for _, path := range scopeImportPaths {
+		if pkg.Path() == path {
+			return true
+		}
+	}
+	for _, name := range DeterministicPackages {
+		if pkg.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeScopeImportPaths resolves every DeterministicPackages name to
+// its import path by listing the module's packages with the go command.
+// scopegen writes the result into scope_paths.go; the scope test
+// re-runs it to prove the generated table never drifts from reality.
+func ComputeScopeImportPaths() (map[string]string, error) {
+	// Resolve the module root so the listing is the same regardless of
+	// which package directory the caller (go generate, go test) runs in.
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return nil, fmt.Errorf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	cmd := exec.Command("go", "list", "-f", "{{.Name}} {{.ImportPath}}", "./...")
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list ./...: %v\n%s", err, stderr.Bytes())
+	}
+	byName := map[string][]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		name, path, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		byName[name] = append(byName[name], path)
+	}
+	paths := make(map[string]string, len(DeterministicPackages))
+	for _, name := range DeterministicPackages {
+		matches := byName[name]
+		switch len(matches) {
+		case 0:
+			return nil, fmt.Errorf("deterministic package %q does not exist in this module", name)
+		case 1:
+			paths[name] = matches[0]
+		default:
+			sort.Strings(matches)
+			return nil, fmt.Errorf("deterministic package name %q is ambiguous: %v", name, matches)
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestScopePathsInSync regenerates the deterministic-package import
+// paths from the live module and compares them with the generated
+// scope_paths.go, so a renamed or moved package cannot silently drop
+// out of detorder/detrand coverage. Fails with the go:generate fix.
+func TestScopePathsInSync(t *testing.T) {
+	fresh, err := ComputeScopeImportPaths()
+	if err != nil {
+		t.Fatalf("resolving deterministic packages: %v", err)
+	}
+	if !reflect.DeepEqual(fresh, scopeImportPaths) {
+		t.Fatalf("scope_paths.go is stale: have %v, module has %v\n(run `go generate ./internal/analysis`)",
+			scopeImportPaths, fresh)
+	}
+}
+
+// TestDeterministicPackagesSorted keeps the source-of-truth list tidy
+// and duplicate-free: the generator and the docs both quote it.
+func TestDeterministicPackagesSorted(t *testing.T) {
+	if !sort.StringsAreSorted(DeterministicPackages) {
+		t.Errorf("DeterministicPackages is not sorted: %v", DeterministicPackages)
+	}
+	seen := map[string]bool{}
+	for _, name := range DeterministicPackages {
+		if seen[name] {
+			t.Errorf("DeterministicPackages lists %q twice", name)
+		}
+		seen[name] = true
+		if _, ok := scopeImportPaths[name]; !ok {
+			t.Errorf("DeterministicPackages names %q but scope_paths.go has no import path for it", name)
+		}
+	}
+	for name := range scopeImportPaths {
+		if !seen[name] {
+			t.Errorf("scope_paths.go maps %q, which DeterministicPackages does not list", name)
+		}
+	}
+}

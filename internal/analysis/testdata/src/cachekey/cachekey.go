@@ -1,0 +1,44 @@
+// Package cachekey is the cachekey golden fixture: a Config with every
+// way a field can relate to its CacheKey method.
+package cachekey
+
+import "fmt"
+
+// Sub is reachable from Config.Net; its fields inherit the contract.
+type Sub struct {
+	Days int
+	Skip bool // want "Config.Net.Skip is not consumed by CacheKey"
+}
+
+// Config exercises consumption, exemption, and their failure modes.
+type Config struct {
+	Seed  int64 // consumed through the seedPart helper
+	Scale float64
+	Net   Sub
+	// Workers is the sanctioned exemption shape: directive plus reason.
+	//
+	//torhs:nocachekey fixture: parallelism does not change output bytes
+	Workers int
+	Debug   bool // want "Config.Debug is not consumed by CacheKey"
+	//torhs:nocachekey
+	Trace bool // want "needs a reason"
+	//torhs:nocachekey fixture: wrongly exempt, the key reads it
+	Label string // want "carries //torhs:nocachekey but IS consumed"
+}
+
+// seedPart shows helper-method consumption: reads of c.Seed here count.
+func (c Config) seedPart() string { return fmt.Sprintf("seed=%d", c.Seed) }
+
+// CacheKey consumes Seed (via seedPart), Scale, Net.Days, and Label.
+func (c Config) CacheKey() string {
+	return fmt.Sprintf("%s scale=%g days=%d label=%s",
+		c.seedPart(), c.Scale, c.Net.Days, c.Label)
+}
+
+// Spec consumes itself whole: every field is covered. Clean.
+type Spec struct {
+	A, B int
+}
+
+// CacheKey passes the whole value to fmt.
+func (s Spec) CacheKey() string { return fmt.Sprintf("%v", s) }

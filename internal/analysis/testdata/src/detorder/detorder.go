@@ -1,0 +1,147 @@
+// Package trawl is the detorder golden fixture. The package NAME puts
+// it in the deterministic-package scope (scope.go falls back to names
+// precisely so fixtures like this one are analyzable); the directory
+// name says what it tests.
+package trawl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Print leaks iteration order straight into output.
+func Print(m map[string]int) {
+	for k, v := range m { // want "call to Println may observe iteration order"
+		fmt.Println(k, v)
+	}
+}
+
+// Sum accumulates commutatively: clean.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CollectSorted is the collect-then-sort idiom: clean.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectUnsorted escapes the keys in iteration order.
+func CollectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "append to out escapes in iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// First returns whichever key the runtime yields first.
+func First(m map[string]int) string {
+	for k := range m { // want "return inside map range selects an order-dependent entry"
+		return k
+	}
+	return ""
+}
+
+// AnyLarge is the idempotent any-pattern: a single constant store plus
+// break cannot observe order. Clean.
+func AnyLarge(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 10 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+// SumUntil truncates an accumulation at an order-dependent prefix.
+func SumUntil(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "break exits the map range after an order-dependent prefix"
+		total += v
+		if total > 100 {
+			break
+		}
+	}
+	return total
+}
+
+// Flags stores two different constants into one target: the last
+// iterated entry wins.
+func Flags(m map[string]int) string {
+	state := ""
+	for _, v := range m { // want "set to different constants"
+		if v > 0 {
+			state = "pos"
+		} else {
+			state = "neg"
+		}
+	}
+	return state
+}
+
+// PerKey writes only per-key slots: clean.
+func PerKey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Shifted serializes entries through a loop-independent index.
+func Shifted(m map[string]int, dst []int) {
+	i := 0
+	for _, v := range m { // want "indexed write with a loop-independent index"
+		dst[i] = v
+		i++
+	}
+}
+
+// Keyless ranges bind nothing: the body cannot see the order. Clean.
+func Keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Suppressed carries an audited ignore: clean.
+func Suppressed(m map[string]int) {
+	//torhs:ignore detorder fixture: output order is deliberately unspecified here
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// fill rewrites buf from scratch; calls matching the buf = fill(buf[:0],
+// ...) shape are part of the scratch-rewrite idiom.
+func fill(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// Scratch reuses a buffer that is fully rewritten per entry: clean.
+func Scratch(m map[string]int) int {
+	total := 0
+	var buf []int
+	for _, v := range m {
+		buf = fill(buf[:0], v)
+		total += len(buf)
+	}
+	return total
+}

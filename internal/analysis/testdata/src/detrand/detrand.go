@@ -1,0 +1,47 @@
+// Package simnet is the detrand golden fixture; the package name puts
+// it in the deterministic-package scope.
+package simnet
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock reads the wall clock.
+func Clock() time.Time {
+	return time.Now() // want "time.Now is nondeterministic across runs"
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since is nondeterministic across runs"
+}
+
+// Env reads ambient configuration.
+func Env() string {
+	return os.Getenv("HOME") // want "os.Getenv is nondeterministic across runs"
+}
+
+// Draw uses the globally seeded source.
+func Draw() int {
+	return rand.Intn(10) // want "global rand.Intn draws from a shared non-seeded source"
+}
+
+// Seeded builds an explicit source: constructors are sanctioned. Clean.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// HashSeed draws a process-random hashing seed.
+func HashSeed() maphash.Seed {
+	return maphash.MakeSeed() // want "maphash.MakeSeed is nondeterministic across runs"
+}
+
+// WallClock carries an audited ignore: clean.
+func WallClock() time.Time {
+	//torhs:ignore detrand fixture: this helper exists to timestamp log lines, not study output
+	return time.Now()
+}

@@ -1,0 +1,90 @@
+// Package hot is the hotalloc golden fixture. hotalloc is annotation-
+// driven, not scope-driven: only //torhs:hotpath functions are checked.
+package hot
+
+import "fmt"
+
+// Format allocates in every way fmt can.
+//
+//torhs:hotpath
+func Format(n int, buf []byte) []byte {
+	s := fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	b := []byte(s)            // want "conversion from string copies"
+	m := make([]int, n)       // want "make allocates"
+	_ = m
+	return append(buf, b...)
+}
+
+// Grow demonstrates the append shapes.
+//
+//torhs:hotpath
+func Grow(dst []int, n int) []int {
+	out := append(dst, 1) // want "append into a different slice than its source starts a new backing array"
+	_ = out
+	dst = append(dst, 2)  // in-place growth: clean
+	return append(dst, n) // growing a parameter in a return (Into idiom): clean
+}
+
+// Scratch reuses caller-owned backing: clean.
+//
+//torhs:hotpath
+func Scratch(buf []byte, n byte) []byte {
+	return append(buf[:0], n)
+}
+
+// Counter returns a capturing closure.
+//
+//torhs:hotpath
+func Counter() func() int {
+	i := 0
+	return func() int { // want "closure captures outer variables"
+		i++
+		return i
+	}
+}
+
+// Box passes a concrete int to an interface parameter.
+//
+//torhs:hotpath
+func Box(v int) {
+	sink(v) // want "passing int to an interface parameter boxes it on the heap"
+}
+
+func sink(v interface{}) { _ = v }
+
+// Concat builds a string on the hot path.
+//
+//torhs:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// Ptr escapes a composite literal.
+//
+//torhs:hotpath
+func Ptr() *[2]int {
+	return &[2]int{1, 2} // want "&composite literal allocates"
+}
+
+// Lit builds a slice literal.
+//
+//torhs:hotpath
+func Lit() []int {
+	return []int{1, 2} // want "slice literal allocates"
+}
+
+// Cold is not annotated: allocate freely.
+func Cold(n int) []int {
+	return make([]int, n)
+}
+
+// Mixed has a cold error path inside a hot function.
+//
+//torhs:hotpath
+func Mixed(n int) (string, error) {
+	if n < 0 {
+		//torhs:ignore hotalloc fixture: error exit, cold by construction
+		return "", fmt.Errorf("negative %d", n)
+	}
+	return "ok", nil
+}

@@ -1,0 +1,16 @@
+// Package helper is NOT a deterministic package: detorder and detrand
+// must both stay silent on it.
+package helper
+
+import (
+	"fmt"
+	"time"
+)
+
+// Noisy does everything the deterministic packages may not.
+func Noisy(m map[string]int) time.Time {
+	for k := range m {
+		fmt.Println(k)
+	}
+	return time.Now()
+}

@@ -59,6 +59,8 @@ func newIndexTable(capacity int, addrs []onion.Address) *Index {
 }
 
 // insert adds or overwrites one mapping.
+//
+//torhs:hotpath
 func (ix *Index) insert(id onion.DescriptorID, addrIdx int32) {
 	if 2*(len(ix.entries)+1) > len(ix.slots) {
 		ix.grow()
@@ -178,6 +180,8 @@ func BuildIndexTable(
 func (ix *Index) Len() int { return len(ix.entries) }
 
 // Resolve maps one descriptor ID to its onion address.
+//
+//torhs:hotpath
 func (ix *Index) Resolve(id onion.DescriptorID) (onion.Address, bool) {
 	slot := binary.BigEndian.Uint64(id[0:8]) & ix.mask
 	for {
@@ -233,6 +237,8 @@ func ResolveLog(log *hsdir.RequestLog, ix *Index) *Resolution {
 }
 
 // addCount folds one per-descriptor-ID request count into the resolution.
+//
+//torhs:orderinsensitive every fold is a commutative accumulation (+= counters and a per-key map add), so the fold order cannot change the result
 func (res *Resolution) addCount(id onion.DescriptorID, n int, ix *Index) {
 	res.TotalRequests += n
 	res.UniqueIDs++
@@ -253,13 +259,22 @@ func ResolveBruteForce(
 	from, to time.Time,
 ) *Resolution {
 	res := &Resolution{PerAddress: make(map[onion.Address]int)}
+	// Check services in sorted address order: the first-match break below
+	// must not depend on map iteration order (IDs never collide across
+	// services in practice, but the baseline should be deterministic even
+	// if they did).
+	addrs := make([]onion.Address, 0, len(services))
+	for addr := range services {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var buf []onion.DescriptorID
 	for id, n := range counts {
 		res.TotalRequests += n
 		res.UniqueIDs++
 		resolved := false
-		for addr, permID := range services {
-			buf = onion.DescriptorIDsOverRangeInto(buf[:0], permID, from, to)
+		for _, addr := range addrs {
+			buf = onion.DescriptorIDsOverRangeInto(buf[:0], services[addr], from, to)
 			for _, candidate := range buf {
 				if candidate == id {
 					res.ResolvedIDs++
@@ -293,11 +308,7 @@ type RankEntry struct {
 func Rank(res *Resolution, labeler func(onion.Address) string) []RankEntry {
 	out := make([]RankEntry, 0, len(res.PerAddress))
 	for addr, n := range res.PerAddress {
-		e := RankEntry{Requests: n, Addr: addr}
-		if labeler != nil {
-			e.Label = labeler(addr)
-		}
-		out = append(out, e)
+		out = append(out, RankEntry{Requests: n, Addr: addr})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Requests != out[j].Requests {
@@ -305,8 +316,13 @@ func Rank(res *Resolution, labeler func(onion.Address) string) []RankEntry {
 		}
 		return out[i].Addr < out[j].Addr
 	})
+	// Label after sorting: labeler is caller-supplied code, so calling it
+	// per map entry would hand it addresses in iteration order.
 	for i := range out {
 		out[i].Rank = i + 1
+		if labeler != nil {
+			out[i].Label = labeler(out[i].Addr)
+		}
 	}
 	return out
 }

@@ -316,97 +316,17 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
 	}
 
-	var states stateTable
-	totalHSDirs := 0
-
-	// Occurrences accumulate in one chronological global list (plus the
-	// owning state per entry) and are carved into per-relay slices at
-	// wrap-up, so the sweep never grows hundreds of tiny slices.
-	var occs []Occurrence
-	var occStates []*relayState
-
-	// Scratch buffer reused across every (document, replica) pair: the
-	// responsible set is consumed before the next ResponsibleInto call.
-	respBuf := make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
-
-	for _, doc := range docs {
-		hsdirFPs := doc.HSDirs()
-		if len(hsdirFPs) == 0 {
-			continue
-		}
-		totalHSDirs += len(hsdirFPs)
-		// The ring and average gap are cached on the document: repeated
-		// analyses (and other pipelines) share one sorted ring per
-		// consensus instead of rebuilding it per sweep.
-		ring := doc.Ring()
-		avgGap := doc.AverageGap()
-
-		// Track fingerprint switches for every relay identity, whether
-		// or not it was ever responsible: a tracker mines its key days
-		// *before* the responsibility shows up.
-		for i := range doc.Entries {
-			e := &doc.Entries[i]
-			st := states.get(e.RelayID)
-			if !st.seen {
-				st.seen = true
-				st.lastFP = e.Fingerprint
-				st.nick0 = e.Nickname
-				st.ip0 = e.IP
-				continue
-			}
-			if e.Fingerprint != st.lastFP {
-				if st.fps == nil {
-					st.fps = append(make([]onion.Fingerprint, 0, 4), st.lastFP)
-				}
-				st.fps = appendFPAbsent(st.fps, e.Fingerprint)
-				st.report.Switches++
-				st.switchAts = append(st.switchAts, doc.ValidAfter)
-				st.lastFP = e.Fingerprint
-			}
-			if e.Nickname != st.nick0 {
-				st.extraNicks = appendStrAbsent(st.extraNicks, e.Nickname)
-			}
-			if e.IP != st.ip0 {
-				st.extraIPs = appendStrAbsent(st.extraIPs, e.IP)
-			}
-		}
-
-		day := doc.ValidAfter.Unix() / 86400
-		var ids [onion.Replicas]onion.DescriptorID
-		if a.secrets != nil {
-			ids = a.secrets.DescriptorIDsAt(target, doc.ValidAfter)
-		} else {
-			ids = onion.DescriptorIDs(target, doc.ValidAfter)
-		}
-		for replica, descID := range ids {
-			respBuf = ring.ResponsibleInto(respBuf[:0], descID, onion.SpreadPerReplica)
-			for _, fp := range respBuf {
-				entry, ok := doc.Lookup(fp)
-				if !ok {
-					continue
-				}
-				st := states.get(entry.RelayID)
-				ratio := onion.RingRatio(avgGap, onion.Distance(descID, fp))
-				occs = append(occs, Occurrence{
-					At:          doc.ValidAfter,
-					Fingerprint: fp,
-					Replica:     replica,
-					Ratio:       ratio,
-					Uptime:      entry.Uptime,
-				})
-				occStates = append(occStates, st)
-				st.occCount++
-				if ratio > st.report.MaxRatio {
-					st.report.MaxRatio = ratio
-				}
-				if entry.Uptime >= a.cfg.HSDirUptime &&
-					entry.Uptime < a.cfg.HSDirUptime+a.cfg.FreshFlagWindow {
-					st.report.FreshFlagResponsible++
-				}
-				st.markResponsible(day)
-			}
-		}
+	sw := sweep{
+		a: a,
+		// Scratch buffer reused across every (document, replica) pair:
+		// the responsible set is consumed before the next
+		// ResponsibleInto call.
+		respBuf: make([]onion.Fingerprint, 0, onion.SpreadPerReplica),
 	}
+	for _, doc := range docs {
+		sw.observeDoc(doc, target)
+	}
+	states, totalHSDirs, occs, occStates := &sw.states, sw.totalHSDirs, sw.occs, sw.occStates
 
 	n := len(docs)
 	meanHSDirs := float64(totalHSDirs) / float64(n)
@@ -471,6 +391,107 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 	}
 	rep.Episodes = a.clusterEpisodes(rep)
 	return rep, nil
+}
+
+// sweep is the accumulation state of one Analyze pass over a consensus
+// range. Occurrences accumulate in one chronological global list (plus
+// the owning state per entry) and are carved into per-relay slices at
+// wrap-up, so the sweep never grows hundreds of tiny slices.
+type sweep struct {
+	a           *Analyzer
+	states      stateTable
+	totalHSDirs int
+	occs        []Occurrence
+	occStates   []*relayState
+	respBuf     []onion.Fingerprint
+}
+
+// observeDoc folds one consensus document into the sweep: fingerprint
+// switches for every relay identity, and responsibility occurrences for
+// the target's descriptor IDs. This is Analyze's per-document
+// accumulator — the tracking pipeline's hot loop over a multi-month
+// History — and stays allocation-free in steady state (everything grows
+// amortized or reuses scratch).
+//
+//torhs:hotpath
+func (sw *sweep) observeDoc(doc *consensus.Document, target onion.PermanentID) {
+	hsdirFPs := doc.HSDirs()
+	if len(hsdirFPs) == 0 {
+		return
+	}
+	sw.totalHSDirs += len(hsdirFPs)
+	// The ring and average gap are cached on the document: repeated
+	// analyses (and other pipelines) share one sorted ring per
+	// consensus instead of rebuilding it per sweep.
+	ring := doc.Ring()
+	avgGap := doc.AverageGap()
+
+	// Track fingerprint switches for every relay identity, whether
+	// or not it was ever responsible: a tracker mines its key days
+	// *before* the responsibility shows up.
+	for i := range doc.Entries {
+		e := &doc.Entries[i]
+		st := sw.states.get(e.RelayID)
+		if !st.seen {
+			st.seen = true
+			st.lastFP = e.Fingerprint
+			st.nick0 = e.Nickname
+			st.ip0 = e.IP
+			continue
+		}
+		if e.Fingerprint != st.lastFP {
+			if st.fps == nil {
+				//torhs:ignore hotalloc cold path: runs once per relay, on its first observed fingerprint switch
+				st.fps = append(make([]onion.Fingerprint, 0, 4), st.lastFP)
+			}
+			st.fps = appendFPAbsent(st.fps, e.Fingerprint)
+			st.report.Switches++
+			st.switchAts = append(st.switchAts, doc.ValidAfter)
+			st.lastFP = e.Fingerprint
+		}
+		if e.Nickname != st.nick0 {
+			st.extraNicks = appendStrAbsent(st.extraNicks, e.Nickname)
+		}
+		if e.IP != st.ip0 {
+			st.extraIPs = appendStrAbsent(st.extraIPs, e.IP)
+		}
+	}
+
+	day := doc.ValidAfter.Unix() / 86400
+	var ids [onion.Replicas]onion.DescriptorID
+	if sw.a.secrets != nil {
+		ids = sw.a.secrets.DescriptorIDsAt(target, doc.ValidAfter)
+	} else {
+		ids = onion.DescriptorIDs(target, doc.ValidAfter)
+	}
+	for replica, descID := range ids {
+		sw.respBuf = ring.ResponsibleInto(sw.respBuf[:0], descID, onion.SpreadPerReplica)
+		for _, fp := range sw.respBuf {
+			entry, ok := doc.Lookup(fp)
+			if !ok {
+				continue
+			}
+			st := sw.states.get(entry.RelayID)
+			ratio := onion.RingRatio(avgGap, onion.Distance(descID, fp))
+			sw.occs = append(sw.occs, Occurrence{
+				At:          doc.ValidAfter,
+				Fingerprint: fp,
+				Replica:     replica,
+				Ratio:       ratio,
+				Uptime:      entry.Uptime,
+			})
+			sw.occStates = append(sw.occStates, st)
+			st.occCount++
+			if ratio > st.report.MaxRatio {
+				st.report.MaxRatio = ratio
+			}
+			if entry.Uptime >= sw.a.cfg.HSDirUptime &&
+				entry.Uptime < sw.a.cfg.HSDirUptime+sw.a.cfg.FreshFlagWindow {
+				st.report.FreshFlagResponsible++
+			}
+			st.markResponsible(day)
+		}
+	}
 }
 
 // judge applies the five rules and records the reasons.

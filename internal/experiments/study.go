@@ -49,6 +49,8 @@ type Config struct {
 	// goroutines, so the study's peak goroutine count can exceed the
 	// knob when experiments overlap. For a fixed Seed the rendered
 	// output is byte-identical at every worker count.
+	//
+	//torhs:nocachekey output is byte-identical at every worker count (pinned by the determinism tests), so runs at different parallelism deliberately share cache entries
 	Workers int
 	// BotFactor scales the Skynet bot population relative to the
 	// paper's calibrated count (0 means 1.0, the paper's mix).

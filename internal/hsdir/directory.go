@@ -74,6 +74,8 @@ func NewDirectory(fp onion.Fingerprint, ttl time.Duration) *Directory {
 func (d *Directory) Fingerprint() onion.Fingerprint { return d.fingerprint }
 
 // lookup returns the arena index of id, or -1.
+//
+//torhs:hotpath
 func (d *Directory) lookup(id onion.DescriptorID) int32 {
 	if len(d.slots) == 0 {
 		return -1
@@ -115,6 +117,8 @@ func (d *Directory) grow() {
 // descriptor under the same ID and refreshing its expiry. Steady-state
 // republication (an ID this directory has seen before) performs zero heap
 // allocations.
+//
+//torhs:hotpath
 func (d *Directory) Publish(desc *onion.Descriptor, now time.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -183,6 +187,8 @@ func (d *Directory) Fetch(id onion.DescriptorID, now time.Time) (*onion.Descript
 // absent but not reaped. Probe performs zero heap allocations and may run
 // concurrently with other Probe calls; callers must not run it
 // concurrently with Publish, Fetch, or Expire.
+//
+//torhs:hotpath
 func (d *Directory) Probe(id onion.DescriptorID, now time.Time) (*onion.Descriptor, bool) {
 	i := d.lookup(id)
 	if i < 0 {

@@ -133,6 +133,7 @@ func (l *RequestLog) CountsByID() map[onion.DescriptorID]int {
 func (l *RequestLog) EachCount(fn func(id onion.DescriptorID, n int)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//torhs:ignore detorder unordered visiting is EachCount's documented contract; deterministic consumers must fold commutatively (popularity.Resolution.addCount is the exemplar)
 	for id, n := range l.countsLocked() {
 		fn(id, n)
 	}

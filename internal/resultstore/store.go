@@ -38,6 +38,8 @@ type Key struct {
 	Experiment string `json:"experiment"`
 	// Scenario is the preset name the run was configured from (also the
 	// serving index bucket).
+	//
+	//torhs:nocachekey a serving-index label, not an input: the same parameters spelled via a preset or via explicit flags must hit the same cache entry
 	Scenario string `json:"scenario"`
 	// Params is the canonical study-parameter string
 	// (experiments.Config.CacheKey: seed, scale, clients, …).
@@ -47,12 +49,12 @@ type Key struct {
 	CodeVersion string `json:"codeVersion"`
 }
 
-// Hash returns the key's cache address: SHA-256 over the fields that
-// determine output bytes — experiment, params, code version. Scenario
-// is deliberately excluded: it is a serving-index label, not an input
-// (the same parameters spelled via a preset or via explicit flags must
-// hit the same cache entry).
-func (k Key) Hash() string {
+// CacheKey returns the key's cache address: SHA-256 over the fields
+// that determine output bytes — experiment, params, code version.
+// Scenario is excluded via its //torhs:nocachekey directive, which the
+// cachekey analyzer audits: adding a Key field without consuming it
+// here (or exempting it) fails torhsvet.
+func (k Key) CacheKey() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "experiment=%s\nparams=%s\ncode=%s\n",
 		k.Experiment, k.Params, k.CodeVersion)
@@ -200,7 +202,7 @@ func (s *Store) Bind(k Key, contentHash string) error {
 	if err := k.Validate(); err != nil {
 		return err
 	}
-	entry := Entry{Key: k, KeyHash: k.Hash(), ContentHash: contentHash}
+	entry := Entry{Key: k, KeyHash: k.CacheKey(), ContentHash: contentHash}
 	keyBound := entryMatches(s.shardPath("keys", entry.KeyHash), contentHash)
 	indexBound := entryMatches(s.indexPath(k.Scenario, k.Experiment), contentHash)
 	if keyBound && indexBound {
@@ -238,7 +240,7 @@ func (s *Store) Get(k Key) (doc *report.Document, contentHash string, ok bool, e
 	if err := k.Validate(); err != nil {
 		return nil, "", false, err
 	}
-	entry, err := readEntry(s.shardPath("keys", k.Hash()))
+	entry, err := readEntry(s.shardPath("keys", k.CacheKey()))
 	if err != nil {
 		return nil, "", false, err
 	}

@@ -72,13 +72,13 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestKeyHashCoversOutputDeterminants(t *testing.T) {
 	base := testKey("scan")
-	seen := map[string]string{"base": base.Hash()}
+	seen := map[string]string{"base": base.CacheKey()}
 	for name, k := range map[string]Key{
 		"experiment": {Experiment: "scan2", Scenario: base.Scenario, Params: base.Params, CodeVersion: base.CodeVersion},
 		"params":     {Experiment: base.Experiment, Scenario: base.Scenario, Params: "seed=8", CodeVersion: base.CodeVersion},
 		"code":       {Experiment: base.Experiment, Scenario: base.Scenario, Params: base.Params, CodeVersion: "test-2"},
 	} {
-		h := k.Hash()
+		h := k.CacheKey()
 		for prior, ph := range seen {
 			if h == ph {
 				t.Errorf("changing %s collides with %s", name, prior)
@@ -91,7 +91,7 @@ func TestKeyHashCoversOutputDeterminants(t *testing.T) {
 	// entry (it still buckets the serving index).
 	relabelled := base
 	relabelled.Scenario = "custom"
-	if relabelled.Hash() != base.Hash() {
+	if relabelled.CacheKey() != base.CacheKey() {
 		t.Error("scenario label changed the cache hash; identical runs would spuriously miss")
 	}
 }

@@ -378,6 +378,8 @@ func (n *Network) FetchRawID(c *Client, descID onion.DescriptorID, now time.Time
 // scratch buffers made explicit so DriveWindow can run fetches
 // concurrently on per-request RNGs; the caller owns request-log
 // recording.
+//
+//torhs:hotpath
 func (n *Network) fetchDescriptor(rng *rand.Rand, c *Client, permID onion.PermanentID, now time.Time, sc *fetchScratch) fetchRec {
 	local := c.LocalTime(now)
 	replica := uint8(rng.Intn(onion.Replicas))
@@ -397,6 +399,8 @@ func (n *Network) fetchDescriptor(rng *rand.Rand, c *Client, permID onion.Perman
 	return n.fetchByID(rng, c, sc.idVal[replica], now, sc)
 }
 
+//
+//torhs:hotpath
 func (n *Network) fetchByID(rng *rand.Rand, c *Client, descID onion.DescriptorID, now time.Time, sc *fetchScratch) fetchRec {
 	rec := fetchRec{
 		descID:   descID,
