@@ -26,6 +26,7 @@ import (
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
 	"torhs/internal/relaynet"
+	"torhs/internal/resultstore"
 	"torhs/internal/simnet"
 	"torhs/internal/textclass"
 )
@@ -331,10 +332,31 @@ func BenchmarkTrackingScenarioBuild(b *testing.B) {
 	}
 }
 
+// benchStudyConfig is the reduced-scale full-study configuration shared
+// by every BenchmarkFullStudy variant.
+func benchStudyConfig(seed int64, workers int) experiments.Config {
+	cfg := experiments.DefaultConfig(seed)
+	cfg.Scale = 0.02
+	cfg.Clients = 300
+	cfg.TrawlIPs = 15
+	cfg.TrawlSteps = 4
+	cfg.Relays = 300
+	cfg.Workers = workers
+	return cfg
+}
+
 // BenchmarkFullStudy runs every experiment end-to-end at reduced scale,
 // once pinned to a single worker (the sequential baseline) and once with
 // one worker per CPU. The rendered output is identical in both cases;
-// only the wall clock differs.
+// only the wall clock differs. The stored variant adds the persistence
+// pipeline (fsync'd document Puts); the checkpointed variant further
+// arms window-level checkpoints — its gap to the stored baseline is the
+// price of crash safety on an uninterrupted run, and must stay under
+// 5%. Cadence 4 is the benchmarked setting: each snapshot costs two
+// fsyncs (temp file + directory), so at this bench's millisecond-scale
+// windows cadence 1 measures the filesystem, not the study (~35% here,
+// negligible at paper scale where windows are seconds). See
+// EXPERIMENTS.md.
 func BenchmarkFullStudy(b *testing.B) {
 	for _, bc := range []struct {
 		name    string
@@ -345,18 +367,39 @@ func BenchmarkFullStudy(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := experiments.DefaultConfig(int64(i))
-				cfg.Scale = 0.02
-				cfg.Clients = 300
-				cfg.TrawlIPs = 15
-				cfg.TrawlSteps = 4
-				cfg.Relays = 300
-				cfg.Workers = bc.workers
-				study, err := experiments.NewStudy(cfg)
+				study, err := experiments.NewStudy(benchStudyConfig(int64(i), bc.workers))
 				if err != nil {
 					b.Fatal(err)
 				}
 				if err := study.RunAll(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, bc := range []struct {
+		name  string
+		every int
+	}{
+		{"workers=all-stored", 0},
+		{"workers=all-checkpointed", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			store, err := resultstore.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				env, err := experiments.NewEnv(benchStudyConfig(int64(i), 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = experiments.Paper().RunStudy(env, experiments.RunOptions{
+					Scenario:        "bench",
+					Store:           store,
+					CheckpointEvery: bc.every,
+				}, io.Discard)
+				if err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,8 +8,13 @@
 // Routes:
 //
 //	GET /healthz                                   liveness probe
+//	GET /readyz                                    readiness probe (store readable)
 //	GET /experiments                               JSON index of stored artefacts
 //	GET /report/{scenario}/{experiment}?format=F   encoded document (text|json|md|csv)
+//
+// A pruned or corrupt object behind a live index entry degrades to 503
+// with Retry-After (the bad entry is quarantined, so the next request
+// sees 404 until a study run re-publishes the slot).
 //
 // Usage:
 //

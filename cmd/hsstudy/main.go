@@ -13,11 +13,18 @@
 // scenario, seed, parameters and code version are served from disk
 // without executing.
 //
+// Crash safety: -checkpoint-every N snapshots the long-running
+// pipelines into the -out store every N simulation windows, and -resume
+// folds a killed run forward from its latest valid snapshot; the
+// resumed output is byte-identical to an uninterrupted run. Snapshots
+// are removed when the study completes.
+//
 // Usage:
 //
 //	hsstudy -list
 //	hsstudy [-scenario NAME] [-seed N] [-experiment NAME[,NAME...]]
-//	        [-format text|json|md|csv] [-out DIR [-cache]] [overrides]
+//	        [-format text|json|md|csv] [-out DIR [-cache]]
+//	        [-checkpoint-every N] [-resume] [overrides]
 //
 // The two lists below are rendered from the registry and the scenario
 // presets; TestDocCommentMatchesRegistry fails if they drift.
@@ -57,6 +64,8 @@ func run(args []string, w io.Writer) error {
 		format   = fs.String("format", report.FormatText, "output encoding: "+strings.Join(report.Formats(), "|"))
 		outDir   = fs.String("out", "", "persist result documents into the content-addressed store at this directory")
 		useCache = fs.Bool("cache", false, "serve experiments already persisted in the -out store instead of executing them")
+		ckptN    = fs.Int("checkpoint-every", 0, "snapshot long-running pipelines into the -out store every N windows (0 = off)")
+		resume   = fs.Bool("resume", false, "fold pipelines forward from the latest valid checkpoint in the -out store")
 
 		// Overrides: applied on top of the scenario preset only when set
 		// explicitly on the command line.
@@ -114,6 +123,12 @@ func run(args []string, w io.Writer) error {
 	if *useCache && *outDir == "" {
 		return errors.New("-cache requires -out DIR (the store to consult)")
 	}
+	if *ckptN < 0 {
+		return fmt.Errorf("-checkpoint-every %d negative", *ckptN)
+	}
+	if (*ckptN > 0 || *resume) && *outDir == "" {
+		return errors.New("-checkpoint-every/-resume require -out DIR (the store holding the snapshots)")
+	}
 	var store *resultstore.Store
 	if *outDir != "" {
 		if store, err = resultstore.Open(*outDir); err != nil {
@@ -126,11 +141,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	res, err := reg.RunStudy(env, experiments.RunOptions{
-		Names:    parseSelector(*selector),
-		Format:   *format,
-		Scenario: scenarioLabel,
-		Store:    store,
-		UseCache: *useCache,
+		Names:           parseSelector(*selector),
+		Format:          *format,
+		Scenario:        scenarioLabel,
+		Store:           store,
+		UseCache:        *useCache,
+		CheckpointEvery: *ckptN,
+		Resume:          *resume,
 	}, w)
 	if err != nil {
 		return err

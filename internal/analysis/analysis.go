@@ -1,4 +1,4 @@
-// Package analysis is torhs's static-analysis suite: four repo-specific
+// Package analysis is torhs's static-analysis suite: five repo-specific
 // analyzers that prove the codebase's load-bearing contracts at compile
 // time, plus the package loader and directive machinery that drive them.
 //
@@ -17,6 +17,10 @@
 //     is either consumed by CacheKey or carries an audited
 //     //torhs:nocachekey exemption, so a new knob can never silently
 //     alias result-store cache entries.
+//   - faultsite: every //torhs:faultsite name is unique, matches its
+//     constant's value, and is registered in the fault package's sites
+//     map; fault.Hit / fault.MustHit calls pass named site constants,
+//     never inline strings.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer
 // / Pass / Diagnostic) so the suite can migrate to the upstream
@@ -88,7 +92,7 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey}
+	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite}
 }
 
 // byName resolves an analyzer name; used to validate ignore directives.

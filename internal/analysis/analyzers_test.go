@@ -1,6 +1,9 @@
 package analysis
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestDetOrderGolden(t *testing.T) {
 	testAnalyzer(t, DetOrder, "./testdata/src/detorder")
@@ -16,6 +19,34 @@ func TestHotAllocGolden(t *testing.T) {
 
 func TestCacheKeyGolden(t *testing.T) {
 	testAnalyzer(t, CacheKey, "./testdata/src/cachekey")
+}
+
+func TestFaultSiteGolden(t *testing.T) {
+	testAnalyzer(t, FaultSite, "./testdata/src/faultsite")
+}
+
+func TestFaultSiteRegistryGolden(t *testing.T) {
+	testAnalyzer(t, FaultSite, "./testdata/src/faultsitereg")
+}
+
+// TestFaultSiteMisplaced covers the one faultsite diagnostic the golden
+// harness cannot express: a directive that attaches to no constant is
+// reported on the comment's own line, where a want comment cannot sit.
+func TestFaultSiteMisplaced(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/faultsitebad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags, err := Run(pkgs[0], []*Analyzer{FaultSite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "must document a string constant") {
+		t.Fatalf("diagnostics = %+v, want one misplaced-directive finding", diags)
+	}
 }
 
 // TestOutOfScopeSilent pins the scope gate: the scope-driven analyzers

@@ -19,11 +19,15 @@ import (
 //	                                     from the cachekey contract
 //	//torhs:orderinsensitive <reason>    (func doc) calls to this function
 //	                                     are accepted inside map ranges
+//	//torhs:faultsite <name>             (const doc) the string constant
+//	                                     names a registered fault-injection
+//	                                     site (see internal/fault)
 const (
 	dirIgnore           = "ignore"
 	dirHotPath          = "hotpath"
 	dirNoCacheKey       = "nocachekey"
 	dirOrderInsensitive = "orderinsensitive"
+	dirFaultSite        = "faultsite"
 )
 
 // directivePrefix introduces every torhs directive comment.
@@ -93,9 +97,9 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, [
 					continue
 				}
 				switch d.kind {
-				case dirHotPath, dirNoCacheKey, dirOrderInsensitive:
+				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite:
 					// Positional; consumed by hotalloc / cachekey /
-					// detorder respectively.
+					// detorder / faultsite respectively.
 				case dirIgnore:
 					analyzer, reason, _ := strings.Cut(d.args, " ")
 					reason = strings.TrimSpace(reason)

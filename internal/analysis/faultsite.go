@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FaultSite proves the fault-site registry contract (see internal/fault):
+//
+//   - A //torhs:faultsite <name> directive marks exactly one string
+//     constant whose value equals <name>; names are unique per package.
+//     The directive is the grep-able registry of injectable sites, so a
+//     marked constant whose value drifted from its directive would lie
+//     to every reader (and to the crash-resume test matrix that
+//     enumerates sites by name).
+//   - In the fault package itself, the marked constants and the keys of
+//     the sites capability map must coincide exactly: a site constant
+//     outside the map could never fire, and a map key without a marked
+//     constant is invisible to the registry.
+//   - Everywhere else, fault.Hit / fault.MustHit must be passed a named
+//     constant from the fault package — never an inline string or
+//     conversion, which would bypass the registry (and Injector.Set's
+//     registration check only at runtime, deep into a study).
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "//torhs:faultsite names must be unique and match their constant; the fault package's " +
+		"marked constants must equal the sites registry; Hit/MustHit take named site constants",
+	Run: runFaultSite,
+}
+
+// faultPkgName identifies the fault package by name, like the
+// deterministic scope does, so analysistest fixtures participate.
+const faultPkgName = "fault"
+
+func runFaultSite(pass *Pass) error {
+	marked, consumed := faultSiteConsts(pass)
+	reportMisplacedFaultSites(pass, consumed)
+	if pass.Pkg.Name() == faultPkgName {
+		checkSiteRegistry(pass, marked)
+		return nil
+	}
+	checkHitArguments(pass)
+	return nil
+}
+
+// markedSite is one //torhs:faultsite-annotated constant.
+type markedSite struct {
+	name string // the directive's site name (== the constant's value)
+	pos  token.Pos
+}
+
+// faultSiteConsts collects the package's marked constants, reporting
+// malformed markings, and returns the set of directive comment
+// positions it consumed (for misplacement detection).
+func faultSiteConsts(pass *Pass) ([]markedSite, map[token.Pos]bool) {
+	var marked []markedSite
+	consumed := map[token.Pos]bool{}
+	seen := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				args, found := "", false
+				for _, cg := range []*ast.CommentGroup{doc, vs.Comment} {
+					if a, ok := hasDirective(cg, dirFaultSite); ok {
+						args, found = a, true
+						consumed[directivePos(cg, dirFaultSite)] = true
+					}
+				}
+				if !found {
+					continue
+				}
+				switch {
+				case args == "":
+					pass.Reportf(vs.Pos(), "//torhs:faultsite needs a site name")
+					continue
+				case strings.ContainsAny(args, " \t"):
+					pass.Reportf(vs.Pos(), "//torhs:faultsite takes a single site name, got %q", args)
+					continue
+				case len(vs.Names) != 1:
+					pass.Reportf(vs.Pos(), "//torhs:faultsite must mark exactly one constant")
+					continue
+				}
+				c, ok := pass.TypesInfo.Defs[vs.Names[0]].(*types.Const)
+				if !ok || c.Val().Kind() != constant.String {
+					pass.Reportf(vs.Pos(), "//torhs:faultsite %s must mark a string constant", args)
+					continue
+				}
+				if v := constant.StringVal(c.Val()); v != args {
+					pass.Reportf(vs.Pos(), "//torhs:faultsite %s marks constant %s with value %q: "+
+						"directive and value must match", args, vs.Names[0].Name, v)
+					continue
+				}
+				if prev, dup := seen[args]; dup {
+					pass.Reportf(vs.Pos(), "duplicate //torhs:faultsite %s (first marked at %s)",
+						args, pass.Position(prev))
+					continue
+				}
+				seen[args] = vs.Pos()
+				marked = append(marked, markedSite{name: args, pos: vs.Pos()})
+			}
+		}
+	}
+	return marked, consumed
+}
+
+// directivePos finds the comment position of the given directive kind
+// within the group (the group is known to carry it).
+func directivePos(cg *ast.CommentGroup, kind string) token.Pos {
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok && d.kind == kind {
+			return d.pos
+		}
+	}
+	return cg.Pos()
+}
+
+// reportMisplacedFaultSites flags faultsite directives that did not
+// attach to a constant declaration — on a func, a type, a var, or
+// floating — which would silently drop a site from the registry.
+func reportMisplacedFaultSites(pass *Pass, consumed map[token.Pos]bool) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok || d.kind != dirFaultSite || consumed[d.pos] {
+					continue
+				}
+				pass.Reportf(d.pos, "//torhs:faultsite must document a string constant declaration")
+			}
+		}
+	}
+}
+
+// checkSiteRegistry compares, inside the fault package, the marked
+// constants against the keys of the sites map literal.
+func checkSiteRegistry(pass *Pass, marked []markedSite) {
+	lit := sitesLiteral(pass)
+	if lit == nil {
+		if len(marked) > 0 {
+			pass.Reportf(marked[0].pos, "package %s has //torhs:faultsite constants but no sites map literal",
+				pass.Pkg.Name())
+		}
+		return
+	}
+	registered := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(kv.Key.Pos(), "sites key must be a named site constant")
+			continue
+		}
+		registered[constant.StringVal(tv.Value)] = true
+	}
+	markedNames := map[string]bool{}
+	for _, m := range marked {
+		markedNames[m.name] = true
+		if !registered[m.name] {
+			pass.Reportf(m.pos, "site %q is marked //torhs:faultsite but missing from the sites registry", m.name)
+		}
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[kv.Key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if name := constant.StringVal(tv.Value); !markedNames[name] {
+			pass.Reportf(kv.Key.Pos(), "sites key %q has no //torhs:faultsite-marked constant", name)
+		}
+	}
+}
+
+// sitesLiteral locates the package's `sites` map composite literal.
+func sitesLiteral(pass *Pass) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "sites" || len(vs.Values) != 1 {
+					continue
+				}
+				if cl, ok := vs.Values[0].(*ast.CompositeLit); ok {
+					return cl
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkHitArguments enforces, outside the fault package, that qualified
+// fault.Hit / fault.MustHit calls pass a named fault-package constant.
+func checkHitArguments(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Hit" && sel.Sel.Name != "MustHit") {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[x].(*types.PkgName)
+			if !ok || pn.Imported().Name() != faultPkgName {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			if !isFaultConst(pass, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"fault.%s argument must be a named site constant from the fault package, "+
+						"not an inline value (inline sites bypass the //torhs:faultsite registry)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isFaultConst reports whether expr is a selector naming a constant
+// declared in the fault package.
+func isFaultConst(pass *Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	c, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Name() == faultPkgName
+}

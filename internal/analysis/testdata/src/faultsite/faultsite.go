@@ -1,0 +1,52 @@
+// Package faultfixture is the faultsite golden fixture for marked
+// constants (rule A) and Hit/MustHit call arguments (rule C). It is not
+// named "fault", so the registry rule does not apply here.
+package faultfixture
+
+import "torhs/internal/fault"
+
+// SiteGood is a well-formed marked site.
+//
+//torhs:faultsite demo.good
+const SiteGood = "demo.good"
+
+// SiteMismatch's directive names a different site than its value.
+//
+//torhs:faultsite demo.mismatch
+const SiteMismatch = "demo.other" // want "directive and value must match"
+
+// SiteNameless has a directive without a site name.
+//
+//torhs:faultsite
+const SiteNameless = "demo.nameless" // want "needs a site name"
+
+// SiteTwoWords has a multi-token directive.
+//
+//torhs:faultsite demo.two words
+const SiteTwoWords = "demo.two" // want "takes a single site name"
+
+// SiteInt marks a non-string constant.
+//
+//torhs:faultsite demo.int
+const SiteInt = 7 // want "must mark a string constant"
+
+// SiteGoodAgain reuses an already-marked name.
+//
+//torhs:faultsite demo.good
+const SiteGoodAgain = "demo.good" // want "duplicate"
+
+// hitSites exercises the call-argument rule: named constants from the
+// fault package pass, everything else is flagged.
+func hitSites() error {
+	if err := fault.Hit(fault.SiteStoreWrite); err != nil {
+		return err
+	}
+	fault.MustHit(fault.SiteSimWindow)
+	if err := fault.Hit("resultstore.write"); err != nil { // want "named site constant"
+		return err
+	}
+	fault.MustHit(fault.Site("inline.site")) // want "named site constant"
+	const local fault.Site = "demo.local"
+	fault.MustHit(local) // want "named site constant"
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package faultfixturebad holds a misplaced faultsite directive. The
+// diagnostic lands on the directive comment's own line, which a
+// trailing `// want` comment cannot share, so TestFaultSiteMisplaced
+// checks this fixture by hand instead of through the golden harness.
+package faultfixturebad
+
+//torhs:faultsite demo.misplaced
+func Misplaced() {}

@@ -1,0 +1,25 @@
+// Package fault is the faultsite registry golden fixture; the package
+// name puts it under the registry rule (rule B): marked constants and
+// the keys of the sites map must coincide exactly.
+package fault
+
+// Site names one injectable site.
+type Site string
+
+// siteCaps declares which modes a site supports.
+type siteCaps struct{ errOK bool }
+
+// SiteAlpha is marked and registered: clean.
+//
+//torhs:faultsite demo.alpha
+const SiteAlpha Site = "demo.alpha"
+
+// SiteOrphan is marked but missing from the registry.
+//
+//torhs:faultsite demo.orphan
+const SiteOrphan Site = "demo.orphan" // want "missing from the sites registry"
+
+var sites = map[Site]siteCaps{
+	SiteAlpha:    {errOK: true},
+	"demo.rogue": {errOK: false}, // want "no //torhs:faultsite-marked constant"
+}

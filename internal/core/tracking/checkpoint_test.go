@@ -1,0 +1,112 @@
+package tracking
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"torhs/internal/fault"
+	"torhs/internal/resultstore"
+)
+
+func ckptScenario(t *testing.T) (*Scenario, *Analyzer, time.Time, time.Time) {
+	t.Helper()
+	sc, err := BuildScenario(DefaultScenarioConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyzer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := sc.Start
+	return sc, an, from, from.Add(120 * 24 * time.Hour)
+}
+
+func trackingCkptSet(t *testing.T) *resultstore.CheckpointSet {
+	t.Helper()
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Checkpoints(resultstore.Key{
+		Experiment:  "ckpt-tracking",
+		Scenario:    "test",
+		Params:      "seed=50",
+		CodeVersion: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTrackingCheckpointedMatchesPlain(t *testing.T) {
+	sc, an, from, to := ckptScenario(t)
+	ref, err := an.Analyze(sc.History, sc.Target, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := trackingCkptSet(t)
+	got, err := an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("checkpointed analysis diverged from plain Analyze")
+	}
+}
+
+func TestTrackingCrashResumeByteIdentical(t *testing.T) {
+	sc, an, from, to := ckptScenario(t)
+	ref, err := an.Analyze(sc.History, sc.Target, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := trackingCkptSet(t)
+
+	// "Process one": crash entering window 60, snapshots every 7 docs.
+	in := fault.New(1)
+	if err := in.Set(fault.SiteTrackingWindow, fault.Rule{Mode: fault.ModeCrash, At: 60}); err != nil {
+		t.Fatal(err)
+	}
+	prev := fault.Active()
+	fault.Install(in)
+	func() {
+		defer func() {
+			if _, ok := recover().(fault.CrashPoint); !ok {
+				t.Fatal("analysis did not crash at the window site")
+			}
+		}()
+		an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 7, false)
+	}()
+	fault.Install(prev)
+
+	// "Process two": resume; the report must match bit for bit.
+	got, err := an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("resumed analysis diverged from uninterrupted run")
+	}
+}
+
+func TestTrackingWindowFaultIsTransient(t *testing.T) {
+	sc, an, from, to := ckptScenario(t)
+	in := fault.New(1)
+	if err := in.Set(fault.SiteTrackingWindow, fault.Rule{Mode: fault.ModeErr, At: 5}); err != nil {
+		t.Fatal(err)
+	}
+	prev := fault.Active()
+	fault.Install(in)
+	t.Cleanup(func() { fault.Install(prev) })
+	_, err := an.Analyze(sc.History, sc.Target, from, to)
+	if err == nil {
+		t.Fatal("analysis under an armed window fault succeeded")
+	}
+	if !errors.Is(err, fault.Transient) {
+		t.Fatalf("window fault lost its transient classification: %v", err)
+	}
+}

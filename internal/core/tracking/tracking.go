@@ -22,10 +22,20 @@ import (
 	"time"
 
 	"torhs/internal/consensus"
+	"torhs/internal/fault"
 	"torhs/internal/onion"
 	"torhs/internal/relay"
 	"torhs/internal/stats"
 )
+
+// Checkpointer persists per-window sweep snapshots so a killed analysis
+// resumes from its last folded consensus document. The contract matches
+// resultstore.CheckpointSet; the interface keeps tracking below the
+// store in the import graph.
+type Checkpointer interface {
+	Save(window int, state any) error
+	Latest(state any) (window int, ok bool, err error)
+}
 
 // Config parameterises the detector; defaults follow the paper.
 type Config struct {
@@ -311,6 +321,25 @@ func sortedWithFirst(first string, extra []string) []string {
 // Analyze sweeps the history window [from, to] and scores every relay
 // that was ever responsible for the target.
 func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from, to time.Time) (*Report, error) {
+	return a.AnalyzeCheckpointed(h, target, from, to, nil, 0, false)
+}
+
+// AnalyzeCheckpointed is Analyze with window-level crash safety: when
+// ckpt is non-nil the sweep state is snapshotted every `every` consensus
+// documents (<= 0 means every document), and with resume set the sweep
+// folds forward from the latest valid snapshot instead of document
+// zero. The report is byte-identical to an uninterrupted Analyze: the
+// sweep is a pure left fold over documents in ValidAfter order, and the
+// wrap-up sorts by a total order, so restored accumulator state is
+// indistinguishable from locally-computed state.
+func (a *Analyzer) AnalyzeCheckpointed(
+	h *consensus.History,
+	target onion.PermanentID,
+	from, to time.Time,
+	ckpt Checkpointer,
+	every int,
+	resume bool,
+) (*Report, error) {
 	docs := h.Range(from, to)
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
@@ -323,8 +352,40 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 		// ResponsibleInto call.
 		respBuf: make([]onion.Fingerprint, 0, onion.SpreadPerReplica),
 	}
-	for _, doc := range docs {
-		sw.observeDoc(doc, target)
+	start := 0
+	if resume && ckpt != nil {
+		var snap sweepSnapshot
+		w, ok, err := ckpt.Latest(&snap)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: resume: %w", err)
+		}
+		if ok {
+			if snap.Docs != w+1 || snap.Docs >= len(docs) {
+				return nil, fmt.Errorf("tracking: resume: snapshot covers %d documents under window %d (have %d)",
+					snap.Docs, w, len(docs))
+			}
+			sw.restore(&snap)
+			start = snap.Docs
+		}
+	}
+	if every <= 0 {
+		every = 1
+	}
+	for i := start; i < len(docs); i++ {
+		// The document boundary is the tracking fault site: everything
+		// before it is snapshotted (or cheap to refold).
+		if err := fault.Hit(fault.SiteTrackingWindow); err != nil {
+			return nil, fmt.Errorf("tracking: window %d: %w", i, err)
+		}
+		sw.observeDoc(docs[i], target)
+		// Snapshot after the document folds; the final document is not
+		// snapshotted — the report follows immediately and the caller
+		// clears the set on success.
+		if ckpt != nil && i < len(docs)-1 && (i+1)%every == 0 {
+			if err := ckpt.Save(i, sw.snapshot(i+1)); err != nil {
+				return nil, fmt.Errorf("tracking: window %d: checkpoint: %w", i, err)
+			}
+		}
 	}
 	states, totalHSDirs, occs, occStates := &sw.states, sw.totalHSDirs, sw.occs, sw.occStates
 
@@ -404,6 +465,102 @@ type sweep struct {
 	occs        []Occurrence
 	occStates   []*relayState
 	respBuf     []onion.Fingerprint
+}
+
+// sweepSnapshot is the serializable form of a sweep after Docs folded
+// documents: relay states in creation order (occurrence owners become
+// indexes into that order), plus the global occurrence list. The
+// wrap-up-only fields (occOff, occFilled) are deliberately absent —
+// they are recomputed from occCount when the report is carved.
+type sweepSnapshot struct {
+	Docs        int
+	TotalHSDirs int
+	Occs        []Occurrence
+	OccOwners   []int
+	States      []relaySnap
+}
+
+// relaySnap serializes one relayState (gob needs exported fields).
+type relaySnap struct {
+	Report      RelayReport
+	Seen        bool
+	LastFP      onion.Fingerprint
+	FPs         []onion.Fingerprint
+	Nick0, IP0  string
+	ExtraNicks  []string
+	ExtraIPs    []string
+	SwitchAts   []time.Time
+	LastRespDay int64
+	CurRun      int
+	MaxRun      int
+	RespCount   int
+	OccCount    int
+}
+
+// snapshot captures the sweep after docs folded documents.
+func (sw *sweep) snapshot(docs int) *sweepSnapshot {
+	idx := make(map[*relayState]int, len(sw.states.all))
+	states := make([]relaySnap, len(sw.states.all))
+	for i, st := range sw.states.all {
+		idx[st] = i
+		states[i] = relaySnap{
+			Report:      st.report,
+			Seen:        st.seen,
+			LastFP:      st.lastFP,
+			FPs:         st.fps,
+			Nick0:       st.nick0,
+			IP0:         st.ip0,
+			ExtraNicks:  st.extraNicks,
+			ExtraIPs:    st.extraIPs,
+			SwitchAts:   st.switchAts,
+			LastRespDay: st.lastRespDay,
+			CurRun:      st.curRun,
+			MaxRun:      st.maxRun,
+			RespCount:   st.respCount,
+			OccCount:    st.occCount,
+		}
+	}
+	owners := make([]int, len(sw.occStates))
+	for i, st := range sw.occStates {
+		owners[i] = idx[st]
+	}
+	return &sweepSnapshot{
+		Docs:        docs,
+		TotalHSDirs: sw.totalHSDirs,
+		Occs:        sw.occs,
+		OccOwners:   owners,
+		States:      states,
+	}
+}
+
+// restore rebuilds the sweep from a snapshot. States are recreated in
+// their original creation order, so the occurrence-owner indexes (and
+// the wrap-up's creation-order walk) line up exactly.
+func (sw *sweep) restore(snap *sweepSnapshot) {
+	sw.totalHSDirs = snap.TotalHSDirs
+	for i := range snap.States {
+		ss := &snap.States[i]
+		st := sw.states.get(ss.Report.RelayID)
+		st.report = ss.Report
+		st.seen = ss.Seen
+		st.lastFP = ss.LastFP
+		st.fps = ss.FPs
+		st.nick0 = ss.Nick0
+		st.ip0 = ss.IP0
+		st.extraNicks = ss.ExtraNicks
+		st.extraIPs = ss.ExtraIPs
+		st.switchAts = ss.SwitchAts
+		st.lastRespDay = ss.LastRespDay
+		st.curRun = ss.CurRun
+		st.maxRun = ss.MaxRun
+		st.respCount = ss.RespCount
+		st.occCount = ss.OccCount
+	}
+	sw.occs = snap.Occs
+	sw.occStates = make([]*relayState, len(snap.OccOwners))
+	for i, n := range snap.OccOwners {
+		sw.occStates[i] = sw.states.all[n]
+	}
 }
 
 // observeDoc folds one consensus document into the sweep: fingerprint

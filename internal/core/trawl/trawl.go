@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"torhs/internal/fault"
 	"torhs/internal/geo"
 	"torhs/internal/hsdir"
 	"torhs/internal/hspop"
@@ -21,6 +22,39 @@ import (
 	"torhs/internal/relaynet"
 	"torhs/internal/simnet"
 )
+
+// Checkpointer persists per-step accumulator snapshots so a killed run
+// can fold forward from its last completed step. The contract matches
+// resultstore.CheckpointSet; the interface keeps trawl below the store
+// in the import graph.
+type Checkpointer interface {
+	// Save snapshots state after window completed.
+	Save(window int, state any) error
+	// Latest decodes the newest valid snapshot into state; ok is false
+	// when none exists.
+	Latest(state any) (window int, ok bool, err error)
+}
+
+// Snapshot is the serializable accumulator state of a run after Step+1
+// completed steps: exactly the values Run folds forward across step
+// boundaries. Resuming from it is byte-identical to never crashing
+// because every per-step quantity (consensus, network seed, traffic) is
+// derived from the step index alone, never from prior-step state.
+type Snapshot struct {
+	// Step is the last completed step (0-based).
+	Step int
+	// Accumulators mirrored from Harvest.
+	Addresses       map[onion.Address]bool
+	PermIDs         map[onion.Address]onion.PermanentID
+	DescriptorsSeen int
+	StepCoverage    []float64
+	// Requests is the merged request log in original append order.
+	Requests []hsdir.Request
+	// PublishedIDs / RequestedPublished are the cross-step descriptor-ID
+	// sets behind PublishedIDsSeen / RequestedPublishedIDs.
+	PublishedIDs       map[onion.DescriptorID]bool
+	RequestedPublished map[onion.DescriptorID]bool
+}
 
 // Config parameterises the trawling fleet. The paper used 58 Amazon EC2
 // instances (IP addresses).
@@ -55,6 +89,15 @@ type Config struct {
 	// passes one study-wide table; nil lets each step's network build
 	// its own.
 	SecretTable *onion.SecretIDTable
+	// Checkpoint, when non-nil, snapshots the harvest accumulators at
+	// step boundaries so a killed run can resume.
+	Checkpoint Checkpointer
+	// CheckpointEvery is the number of steps between snapshots (<= 0
+	// means every step when Checkpoint is set).
+	CheckpointEvery int
+	// Resume restores the latest valid snapshot from Checkpoint and
+	// continues from the following step instead of starting at step 0.
+	Resume bool
 }
 
 // DefaultConfig mirrors the paper's deployment at simulation scale.
@@ -206,7 +249,48 @@ func (t *Trawler) Run(
 	published := pop.WithDescriptor()
 	publishedIDs := make(map[onion.DescriptorID]bool)
 	requestedPublished := make(map[onion.DescriptorID]bool)
-	for step := 0; step < t.cfg.Steps; step++ {
+	startStep := 0
+	if t.cfg.Resume && t.cfg.Checkpoint != nil {
+		var snap Snapshot
+		w, ok, err := t.cfg.Checkpoint.Latest(&snap)
+		if err != nil {
+			return nil, fmt.Errorf("trawl: resume: %w", err)
+		}
+		if ok {
+			if snap.Step != w {
+				return nil, fmt.Errorf("trawl: resume: snapshot step %d under window %d", snap.Step, w)
+			}
+			startStep = snap.Step + 1
+			h.DescriptorsSeen = snap.DescriptorsSeen
+			h.StepCoverage = snap.StepCoverage
+			if snap.Addresses != nil {
+				h.Addresses = snap.Addresses
+			}
+			if snap.PermIDs != nil {
+				h.PermIDs = snap.PermIDs
+			}
+			if snap.PublishedIDs != nil {
+				publishedIDs = snap.PublishedIDs
+			}
+			if snap.RequestedPublished != nil {
+				requestedPublished = snap.RequestedPublished
+			}
+			// Requests restore in original append order, so every
+			// order-dependent downstream read is unchanged.
+			h.Log.RecordBatch(snap.Requests)
+		}
+	}
+	ckptEvery := t.cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 1
+	}
+	for step := startStep; step < t.cfg.Steps; step++ {
+		// The step boundary is a fault site: everything before it is
+		// checkpointed (or cheap to redo), everything after belongs to
+		// this step alone.
+		if err := fault.Hit(fault.SiteTrawlStep); err != nil {
+			return nil, fmt.Errorf("trawl: step %d: %w", step, err)
+		}
 		now := attackStart.Add(time.Duration(step) * t.cfg.StepLen)
 		t.rotate(step)
 		doc := sim.Authority().Publish(now)
@@ -265,6 +349,25 @@ func (t *Trawler) Run(
 			}
 		}
 		h.StepCoverage = append(h.StepCoverage, float64(len(attacker))/float64(len(hsdirs)))
+
+		// Snapshot after the step's accumulators are complete. The final
+		// step is not snapshotted: the run finishes immediately after and
+		// the caller clears the set on success.
+		if t.cfg.Checkpoint != nil && step < t.cfg.Steps-1 && (step+1)%ckptEvery == 0 {
+			snap := &Snapshot{
+				Step:               step,
+				Addresses:          h.Addresses,
+				PermIDs:            h.PermIDs,
+				DescriptorsSeen:    h.DescriptorsSeen,
+				StepCoverage:       h.StepCoverage,
+				Requests:           h.Log.Requests(),
+				PublishedIDs:       publishedIDs,
+				RequestedPublished: requestedPublished,
+			}
+			if err := t.cfg.Checkpoint.Save(step, snap); err != nil {
+				return nil, fmt.Errorf("trawl: step %d: checkpoint: %w", step, err)
+			}
+		}
 	}
 
 	h.PublishedIDsSeen = len(publishedIDs)

@@ -12,6 +12,7 @@ import (
 	"torhs/internal/hspop"
 	"torhs/internal/onion"
 	"torhs/internal/relaynet"
+	"torhs/internal/resultstore"
 )
 
 // memo is a lazily built, single-flight value: the first get builds it,
@@ -61,6 +62,16 @@ type Env struct {
 	docs      map[int64]*memo[*consensus.Document]
 	artefacts map[string]*memo[Artefact]
 	secrets   map[[2]int64]*memo[*onion.SecretIDTable]
+
+	// Checkpoint plane (see checkpoint.go). Armed by RunStudy when the
+	// invocation asks for window-level snapshots; off by default so
+	// direct Study calls and tests pay nothing.
+	ckptMu     sync.Mutex
+	ckptStore  *resultstore.Store
+	ckptScen   string
+	ckptEvery  int
+	ckptResume bool
+	ckptSets   map[string]*resultstore.CheckpointSet
 }
 
 // NewEnv validates the configuration and returns an empty environment.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"torhs/internal/fault"
 	"torhs/internal/parallel"
 	"torhs/internal/report"
 	"torhs/internal/resultstore"
@@ -245,6 +246,17 @@ type RunOptions struct {
 	// executed (nor are dependencies only they would have needed), and
 	// their documents are served from the store instead.
 	UseCache bool
+	// CheckpointEvery, when > 0 and Store is set, snapshots the
+	// long-running pipelines (trawl loops, tracking sweep) every N
+	// windows so a crashed run can resume. Snapshots live in the store
+	// under reserved ckpt-* experiment names and are cleared when the
+	// run completes.
+	CheckpointEvery int
+	// Resume, with Store set, folds the checkpointing pipelines forward
+	// from their latest valid snapshot instead of recomputing from
+	// window zero. A run with no (or stale-keyed) snapshots starts from
+	// scratch — resuming is always safe, never required.
+	Resume bool
 }
 
 // RunResult reports what one pipeline invocation actually did.
@@ -270,6 +282,29 @@ func storeKey(cfg Config, scenario, experiment string) resultstore.Key {
 	}
 }
 
+// putRetry persists one document, absorbing transient store faults with
+// the default backoff policy before they can reach an artefact memo or
+// abort the run.
+func putRetry(s *resultstore.Store, k resultstore.Key, doc *report.Document) (string, error) {
+	var hash string
+	err := fault.Retry(fault.DefaultRetry, func() error {
+		var inner error
+		hash, inner = s.Put(k, doc)
+		return inner
+	})
+	return hash, err
+}
+
+// getRetry reads one document, absorbing transient store faults.
+func getRetry(s *resultstore.Store, k resultstore.Key) (doc *report.Document, hash string, ok bool, err error) {
+	err = fault.Retry(fault.DefaultRetry, func() error {
+		var inner error
+		doc, hash, ok, inner = s.Get(k)
+		return inner
+	})
+	return doc, hash, ok, err
+}
+
 // RunStudy is Run with persistence and encoding options: it resolves
 // the selection, serves cache hits from the store, schedules only the
 // experiments that still need to execute (plus their dependency
@@ -286,6 +321,9 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 	scenario := opts.Scenario
 	if scenario == "" {
 		scenario = "custom"
+	}
+	if opts.Store != nil && (opts.CheckpointEvery > 0 || opts.Resume) {
+		env.EnableCheckpoints(opts.Store, scenario, opts.CheckpointEvery, opts.Resume)
 	}
 
 	exps, err := r.Resolve(opts.Names)
@@ -313,7 +351,7 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 			if !selected[name] {
 				continue
 			}
-			doc, hash, ok, err := opts.Store.Get(storeKey(env.cfg, scenario, name))
+			doc, hash, ok, err := getRetry(opts.Store, storeKey(env.cfg, scenario, name))
 			if err != nil {
 				return nil, err
 			}
@@ -351,6 +389,24 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 		}
 	}
 	if err := d.Run(); err != nil {
+		// Surface partial results: every experiment that completed
+		// before the failure persists its document, so the failed run's
+		// work is already cached when the study is retried (or resumed)
+		// and visible to the serving layer. Best-effort — the scheduler
+		// error is the one the caller must see.
+		if opts.Store != nil {
+			for _, exp := range exps {
+				name := exp.Name()
+				if !toRun[name] {
+					continue
+				}
+				a, aerr, ok := env.artefactMemo(name).peek()
+				if !ok || aerr != nil {
+					continue
+				}
+				_, _ = putRetry(opts.Store, storeKey(env.cfg, scenario, name), ArtefactDocument(name, a))
+			}
+		}
 		return nil, err
 	}
 
@@ -384,7 +440,7 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 			}
 			doc = ArtefactDocument(name, a)
 			if opts.Store != nil {
-				if _, err := opts.Store.Put(storeKey(env.cfg, scenario, name), doc); err != nil {
+				if _, err := putRetry(opts.Store, storeKey(env.cfg, scenario, name), doc); err != nil {
 					return nil, err
 				}
 			}
@@ -393,6 +449,9 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 			docs = append(docs, doc)
 		}
 	}
+	// The run completed and every document is in hand (and persisted):
+	// any window snapshots it wrote are now orphans — remove them.
+	env.clearCheckpoints()
 
 	if w == nil {
 		return res, nil

@@ -211,7 +211,9 @@ func (e *Env) runCollectionComparison() (*CollectionComparison, error) {
 
 // runTrawl deploys a trawling fleet on the relay network at the given
 // seed offset and runs the collection, optionally driving client
-// traffic. The trawler mutates its sim, so each caller owns its offset.
+// traffic. The trawler mutates its sim, so each caller owns its offset —
+// which also keys the checkpoint set: two trawls in one study snapshot
+// into disjoint sets ("ckpt-trawl-1", "ckpt-trawl-4").
 func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, error) {
 	sim, err := e.RelaySim(seedOffset)
 	if err != nil {
@@ -234,6 +236,15 @@ func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, err
 		tCfg.ClientConfig.Clients = e.cfg.Clients
 	} else {
 		tCfg.DriveTraffic = false
+	}
+	ck, every, resume, err := e.checkpointer(fmt.Sprintf("ckpt-trawl-%d", seedOffset))
+	if err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		tCfg.Checkpoint = ck
+		tCfg.CheckpointEvery = every
+		tCfg.Resume = resume
 	}
 	tr, err := trawl.NewTrawler(tCfg)
 	if err != nil {
@@ -534,7 +545,17 @@ func (e *Env) runTracking() (*TrackingResult, error) {
 	// it gets its own memoized table rather than the study-wide one.
 	end := sc.Start.Add(time.Duration(scCfg.Days) * 24 * time.Hour)
 	an.SetSecretTable(e.SecretTable(sc.Start, end))
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, end)
+	// A typed-nil checkpointer in the interface would defeat the
+	// analyzer's nil check, so only assign when the plane is armed.
+	var ck tracking.Checkpointer
+	rck, every, resume, err := e.checkpointer("ckpt-tracking")
+	if err != nil {
+		return nil, err
+	}
+	if rck != nil {
+		ck = rck
+	}
+	rep, err := an.AnalyzeCheckpointed(sc.History, sc.Target, sc.Start, end, ck, every, resume)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package parallel
 import (
 	"fmt"
 	"sync"
+
+	"torhs/internal/fault"
 )
 
 // DAG runs a set of keyed tasks with declared dependencies on a bounded
@@ -11,8 +13,17 @@ import (
 // concurrently, up to the worker limit. Like Group, the DAG never
 // cancels siblings and reports the first error in Add order, so error
 // surfaces are deterministic regardless of scheduling.
+//
+// Each task runs behind the fault plane's parallel.task site and a
+// retry policy: errors classified transient (errors.Is(err,
+// fault.Transient)) are retried with exponential backoff before the
+// task is declared failed. The site fires before the task closure, so
+// retrying a boundary fault never re-executes completed work; a
+// transient error escaping the closure itself is only retried because
+// the layers below either latch their result or retry internally.
 type DAG struct {
 	workers int
+	retry   fault.RetryPolicy
 	keys    []string
 	nodes   map[string]*dagNode
 }
@@ -28,8 +39,16 @@ type dagNode struct {
 // NewDAG creates a scheduler running at most workers tasks at once
 // (workers <= 0 means one per CPU).
 func NewDAG(workers int) *DAG {
-	return &DAG{workers: Workers(workers), nodes: make(map[string]*dagNode)}
+	return &DAG{
+		workers: Workers(workers),
+		retry:   fault.DefaultRetry,
+		nodes:   make(map[string]*dagNode),
+	}
 }
+
+// SetRetry replaces the scheduler's transient-fault retry policy (the
+// default is fault.DefaultRetry). Must be called before Run.
+func (d *DAG) SetRetry(p fault.RetryPolicy) { d.retry = p }
 
 // Add registers fn under key, to run after every task named in deps.
 // Dependencies may be added in any order before Run; Add only rejects a
@@ -121,7 +140,12 @@ func (d *DAG) Run() error {
 			}
 			limit <- struct{}{}
 			defer func() { <-limit }()
-			n.err = n.fn()
+			n.err = fault.Retry(d.retry, func() error {
+				if err := fault.Hit(fault.SiteTask); err != nil {
+					return err
+				}
+				return n.fn()
+			})
 		}(key, n)
 	}
 	wg.Wait()

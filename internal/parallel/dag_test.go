@@ -2,10 +2,13 @@ package parallel
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"torhs/internal/fault"
 )
 
 func TestDAGRespectsDependencies(t *testing.T) {
@@ -165,5 +168,88 @@ func TestDAGWorkerLimit(t *testing.T) {
 	}
 	if p := peak.Load(); p > 2 {
 		t.Fatalf("peak concurrency %d exceeds worker limit 2", p)
+	}
+}
+
+// withInjector installs a fault injector for one test.
+func withInjector(t *testing.T, in *fault.Injector) {
+	t.Helper()
+	prev := fault.Active()
+	fault.Install(in)
+	t.Cleanup(func() { fault.Install(prev) })
+}
+
+// noBackoff keeps retry tests instant.
+var noBackoff = fault.RetryPolicy{Attempts: 3}
+
+func TestDAGRetriesBoundaryFaultWithoutRerunningTask(t *testing.T) {
+	in := fault.New(1)
+	if err := in.Set(fault.SiteTask, fault.Rule{Mode: fault.ModeErr, At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	withInjector(t, in)
+	var runs atomic.Int32
+	d := NewDAG(1)
+	d.SetRetry(noBackoff)
+	if err := d.Add("only", nil, func() error { runs.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("task ran %d times, want exactly 1 (boundary fault must not re-execute work)", got)
+	}
+	if in.Fires(fault.SiteTask) != 1 {
+		t.Fatalf("site fired %d times, want 1", in.Fires(fault.SiteTask))
+	}
+}
+
+func TestDAGRetryExhaustionIsPermanent(t *testing.T) {
+	in := fault.New(1)
+	// Every hit faults: the boundary never clears, the task never runs.
+	if err := in.Set(fault.SiteTask, fault.Rule{Mode: fault.ModeErr}); err != nil {
+		t.Fatal(err)
+	}
+	withInjector(t, in)
+	var runs atomic.Int32
+	d := NewDAG(1)
+	d.SetRetry(noBackoff)
+	if err := d.Add("only", nil, func() error { runs.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Run()
+	if err == nil {
+		t.Fatal("Run succeeded under a persistent boundary fault")
+	}
+	if errors.Is(err, fault.Transient) {
+		t.Fatalf("exhausted retry still classifies transient: %v", err)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("task ran %d times behind a persistent boundary fault, want 0", got)
+	}
+}
+
+func TestDAGRetriesTransientTaskError(t *testing.T) {
+	// A transient error *returned by the closure* is retried too; this
+	// is safe in the study pipeline because artefact memos latch, so a
+	// retried closure returns instantly instead of re-executing work.
+	withInjector(t, nil)
+	var runs atomic.Int32
+	d := NewDAG(1)
+	d.SetRetry(noBackoff)
+	if err := d.Add("flaky", nil, func() error {
+		if runs.Add(1) == 1 {
+			return fmt.Errorf("wrapped: %w", fault.Transient)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("task ran %d times, want 2 (one retry)", got)
 	}
 }

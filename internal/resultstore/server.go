@@ -3,6 +3,7 @@ package resultstore
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -21,6 +22,7 @@ import (
 // Routes:
 //
 //	GET /healthz                                   liveness probe
+//	GET /readyz                                    readiness probe (store readable)
 //	GET /experiments                               JSON index of stored artefacts
 //	GET /report/{scenario}/{experiment}?format=F   encoded document (text|json|md|csv)
 type Server struct {
@@ -73,6 +75,14 @@ func NewServer(store *Store) *Server {
 	}
 }
 
+// errDegraded classifies serving-path failures caused by a damaged
+// store: a pruned or corrupt object behind a live index entry, or an
+// index entry that does not parse as one. The report handler answers
+// these with 503 + Retry-After rather than 500 — the store is expected
+// to heal (the next study run re-publishes the slot) — and the bad
+// entry is evicted so it cannot keep poisoning the path.
+var errDegraded = errors.New("resultstore: store degraded")
+
 // lookupEntry is Store.Lookup behind the TTL cache.
 func (s *Server) lookupEntry(scenario, experiment string) (*Entry, error) {
 	key := scenario + "/" + experiment
@@ -89,14 +99,20 @@ func (s *Server) lookupEntry(scenario, experiment string) (*Entry, error) {
 	// Verify the entry's object actually exists before caching it:
 	// otherwise a pruned objects/ file would keep answering 304 to
 	// revalidating clients while cold reads fail — the corruption must
-	// surface to everyone.
+	// surface to everyone, once, and then get out of the way.
 	if entry != nil {
-		if len(entry.ContentHash) < 32 {
-			return nil, fmt.Errorf("resultstore: corrupt index entry for %s/%s", scenario, experiment)
+		var reason string
+		switch {
+		case len(entry.ContentHash) < 32:
+			reason = "corrupt index entry (short content hash)"
+		default:
+			if _, statErr := os.Stat(s.store.shardPath("objects", entry.ContentHash)); statErr != nil {
+				reason = "index entry points at missing object " + entry.ContentHash
+			}
 		}
-		if _, statErr := os.Stat(s.store.shardPath("objects", entry.ContentHash)); statErr != nil {
-			return nil, fmt.Errorf("resultstore: index entry %s/%s points at missing object %s",
-				scenario, experiment, entry.ContentHash)
+		if reason != "" {
+			s.evictEntry(key, scenario, experiment, reason)
+			return nil, fmt.Errorf("%w: %s for %s/%s", errDegraded, reason, scenario, experiment)
 		}
 	}
 	s.entriesMu.Lock()
@@ -108,10 +124,23 @@ func (s *Server) lookupEntry(scenario, experiment string) (*Entry, error) {
 	return entry, nil
 }
 
+// evictEntry removes a damaged index entry from the serving path: the
+// on-disk entry moves to quarantine/ with the reason (the same
+// treatment the startup scan gives corruption found at rest), and the
+// TTL cache forgets the slot, so the very next request sees an honest
+// 404 instead of a repeating 503.
+func (s *Server) evictEntry(cacheKey, scenario, experiment, reason string) {
+	_ = s.store.quarantine(s.store.indexPath(scenario, experiment), reason)
+	s.entriesMu.Lock()
+	delete(s.entries, cacheKey)
+	s.entriesMu.Unlock()
+}
+
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("GET /report/{scenario}/{experiment}", s.handleReport)
 	return mux
@@ -120,6 +149,21 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: the
+// process may be up (healthz ok) while its store mount is gone or
+// unreadable, and a load balancer must stop routing reports to it. A
+// full index walk is the strongest cheap proof of readability — it
+// touches every entry file the report routes depend on.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if _, err := s.store.List(); err != nil {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "store unreadable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
 }
 
 // experimentsEntry is one row of the /experiments listing.
@@ -195,6 +239,14 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.lookupEntry(scenario, experiment)
 	if err != nil {
+		if errors.Is(err, errDegraded) {
+			// The damaged entry was just evicted: a retry lands on a
+			// clean 404, or on a re-published entry if a study run is
+			// repairing the store.
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -156,9 +158,10 @@ func TestETagMatches(t *testing.T) {
 	}
 }
 
-// TestCorruptIndexEntryIs500: a hand-edited or truncated index entry
-// (short content hash) must yield a server error, not a handler panic.
-func TestCorruptIndexEntryIs500(t *testing.T) {
+// TestCorruptIndexEntryIs503: a hand-edited or truncated index entry
+// (short content hash) degrades gracefully — 503 with Retry-After, the
+// entry quarantined — and the very next request is an honest 404.
+func TestCorruptIndexEntryIs503(t *testing.T) {
 	store, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -174,8 +177,68 @@ func TestCorruptIndexEntryIs500(t *testing.T) {
 	ts := httptest.NewServer(NewServer(store).Handler())
 	defer ts.Close()
 	resp, _ := get(t, ts.URL+"/report/smoke/scan", nil)
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("corrupt entry = %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt entry = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	resp, _ = get(t, ts.URL+"/report/smoke/scan", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("after eviction = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMissingObjectIs503AndEvicts: a pruned object behind a live index
+// entry yields 503 + Retry-After, quarantines the entry, and then 404s.
+func TestMissingObjectIs503AndEvicts(t *testing.T) {
+	ts, store := newTestServer(t)
+	entry, err := store.Lookup("smoke", "scan")
+	if err != nil || entry == nil {
+		t.Fatalf("lookup: %v %v", entry, err)
+	}
+	if err := os.Remove(store.shardPath("objects", entry.ContentHash)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, ts.URL+"/report/smoke/scan", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("missing object = %d (Retry-After %q) %q, want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	if _, err := os.Stat(store.indexPath("smoke", "scan")); !os.IsNotExist(err) {
+		t.Fatal("bad index entry was not evicted")
+	}
+	q, err := filepath.Glob(filepath.Join(store.Dir(), "quarantine", "*.json"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine glob = %v, %v; want the evicted entry", q, err)
+	}
+	resp, _ = get(t, ts.URL+"/report/smoke/scan", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("after eviction = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReadyz: readiness tracks store readability, liveness does not.
+func TestReadyz(t *testing.T) {
+	ts, store := newTestServer(t)
+	resp, body := get(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz = %d %q", resp.StatusCode, body)
+	}
+
+	// Make the index unwalkable — the moral equivalent of a store mount
+	// disappearing under a live server.
+	if err := os.RemoveAll(filepath.Join(store.Dir(), "index")); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz over broken index = %d, want 503", resp.StatusCode)
+	}
+	resp, body = get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz must stay live: %d %q", resp.StatusCode, body)
 	}
 }
 

@@ -12,9 +12,17 @@
 //	keys/<aa>/<keyhash>.json          Entry: key fields -> content hash
 //	index/<scenario>/<experiment>.json  same Entry, for serving lookups
 //
-// Writes go through a temp file + rename, so concurrent writers and
-// readers (the serve mode) never observe torn objects, and rewriting
-// an identical entry is idempotent.
+// Writes go through a temp file (fsync'd, as is its directory) + atomic
+// rename, so concurrent writers and readers (the serve mode) never
+// observe torn objects — even across a power cut — and rewriting an
+// identical entry is idempotent. Open scans the store and quarantines
+// (rather than crashes on or silently skips) any torn or corrupt file
+// it finds, moving it to quarantine/ with a reason sidecar.
+//
+// The write, rename, and read paths carry fault-plane sites
+// (resultstore.write / resultstore.rename / resultstore.read), so the
+// crash-kill harness can prove a study killed mid-publish resumes
+// cleanly.
 package resultstore
 
 import (
@@ -23,11 +31,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"torhs/internal/fault"
 	"torhs/internal/report"
 )
 
@@ -104,7 +115,11 @@ type Store struct {
 	dir string
 }
 
-// Open creates (if necessary) and opens a store rooted at dir.
+// Open creates (if necessary) and opens a store rooted at dir, then
+// scans it for torn or corrupt files: a truncated object, a bit-flipped
+// hash, or an unparseable entry is moved into quarantine/ (with a
+// .reason sidecar and a logged reason) instead of poisoning later reads,
+// and stale temp files from crashed writers are deleted.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("resultstore: empty store directory")
@@ -114,7 +129,89 @@ func Open(dir string) (*Store, error) {
 			return nil, fmt.Errorf("resultstore: %w", err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	if err := s.scanAndQuarantine(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// tmpMaxAge is how old a .tmp-* file must be before the startup scan
+// deletes it; younger files may belong to a concurrent live writer.
+const tmpMaxAge = 10 * time.Minute
+
+// scanAndQuarantine verifies every object against its content hash and
+// every key/index entry against its schema, quarantining what fails.
+func (s *Store) scanAndQuarantine() error {
+	for _, base := range []string{"objects", "keys", "index"} {
+		root := filepath.Join(s.dir, base)
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".tmp-") {
+				if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > tmpMaxAge {
+					os.Remove(path)
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".json") {
+				return s.quarantine(path, "unexpected file in "+base+"/")
+			}
+			if base == "objects" {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				sum := sha256.Sum256(data)
+				if got := hex.EncodeToString(sum[:]); got != strings.TrimSuffix(name, ".json") {
+					return s.quarantine(path, fmt.Sprintf("content hash mismatch: file hashes to %s", got))
+				}
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			var e Entry
+			if err := json.Unmarshal(data, &e); err != nil {
+				return s.quarantine(path, fmt.Sprintf("unparseable entry: %v", err))
+			}
+			if e.ContentHash == "" || !pathSafe(e.ContentHash) {
+				return s.quarantine(path, fmt.Sprintf("entry has invalid content hash %q", e.ContentHash))
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("resultstore: scanning %s: %w", base, err)
+		}
+	}
+	return nil
+}
+
+// quarantine moves the file at path into quarantine/ alongside a
+// .reason sidecar recording why, and logs the action. The original
+// path disappears, so subsequent reads see a clean miss instead of the
+// corruption.
+func (s *Store) quarantine(path, reason string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%d-%s", i, filepath.Base(path)))
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return err
+	}
+	os.WriteFile(dst+".reason", []byte(reason+"\n"), 0o644)
+	log.Printf("resultstore: quarantined %s -> %s: %s", path, dst, reason)
+	return nil
 }
 
 // Dir returns the store root.
@@ -130,8 +227,14 @@ func (s *Store) indexPath(scenario, experiment string) string {
 }
 
 // writeAtomic writes data via a temp file + rename so readers never see
-// partial content.
+// partial content, fsyncing the temp file before the rename and the
+// directory after it so the publish survives a power cut: without the
+// file sync a crash can leave a correctly-named file with torn content,
+// and without the directory sync the rename itself can be lost.
 func writeAtomic(path string, data []byte) error {
+	if err := fault.Hit(fault.SiteStoreWrite); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -140,6 +243,11 @@ func writeAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -155,9 +263,20 @@ func writeAtomic(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := fault.Hit(fault.SiteStoreRename); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return serr
+		}
 	}
 	return nil
 }
@@ -267,6 +386,9 @@ func (s *Store) Lookup(scenario, experiment string) (*Entry, error) {
 }
 
 func readEntry(path string) (*Entry, error) {
+	if err := fault.Hit(fault.SiteStoreRead); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
@@ -286,6 +408,9 @@ func readEntry(path string) (*Entry, error) {
 func (s *Store) ObjectBytes(contentHash string) ([]byte, error) {
 	if !pathSafe(contentHash) || len(contentHash) < 3 {
 		return nil, fmt.Errorf("resultstore: invalid content hash %q", contentHash)
+	}
+	if err := fault.Hit(fault.SiteStoreRead); err != nil {
+		return nil, err
 	}
 	data, err := os.ReadFile(s.shardPath("objects", contentHash))
 	if os.IsNotExist(err) {

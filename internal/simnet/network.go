@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"torhs/internal/consensus"
+	"torhs/internal/fault"
 	"torhs/internal/geo"
 	"torhs/internal/hsdir"
 	"torhs/internal/hspop"
@@ -522,6 +523,10 @@ func (n *Network) DriveWindow(
 	window time.Duration,
 	observer func(FetchEvent),
 ) TrafficStats {
+	// The window boundary is a fault site (crash/slow only: the method
+	// has no error return, so transient errors cannot surface here).
+	fault.MustHit(fault.SiteSimWindow)
+
 	var out TrafficStats
 
 	// Phase 1: draw the plan sequentially from the network RNG.
