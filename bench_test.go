@@ -345,10 +345,9 @@ func benchStudyConfig(seed int64, workers int) experiments.Config {
 	return cfg
 }
 
-// BenchmarkFullStudy runs every experiment end-to-end at reduced scale,
-// once pinned to a single worker (the sequential baseline) and once with
-// one worker per CPU. The rendered output is identical in both cases;
-// only the wall clock differs. The stored variant adds the persistence
+// BenchmarkFullStudy runs every experiment end-to-end at reduced scale
+// across a worker ladder (1, 2, 4, 8, one-per-CPU). The rendered output
+// is identical at every rung; only the wall clock differs. The stored variant adds the persistence
 // pipeline (fsync'd document Puts); the checkpointed variant further
 // arms window-level checkpoints — its gap to the stored baseline is the
 // price of crash safety on an uninterrupted run, and must stay under
@@ -362,7 +361,13 @@ func BenchmarkFullStudy(b *testing.B) {
 		name    string
 		workers int
 	}{
+		// The 1/2/4/8 ladder is the scaling matrix CI's parallel-
+		// efficiency gate reads; workers=all is the regression-gate
+		// baseline and the tuned default.
 		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+		{"workers=8", 8},
 		{"workers=all", 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {

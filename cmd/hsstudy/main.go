@@ -24,7 +24,12 @@
 //	hsstudy -list
 //	hsstudy [-scenario NAME] [-seed N] [-experiment NAME[,NAME...]]
 //	        [-format text|json|md|csv] [-out DIR [-cache]]
-//	        [-checkpoint-every N] [-resume] [overrides]
+//	        [-checkpoint-every N] [-resume]
+//	        [-cpuprofile FILE] [-memprofile FILE] [overrides]
+//
+// Profiling: -cpuprofile captures the whole study run, -memprofile the
+// retained heap at exit (after a final GC); both files feed straight
+// into go tool pprof. See README.md "Profiling" for the workflow.
 //
 // The two lists below are rendered from the registry and the scenario
 // presets; TestDocCommentMatchesRegistry fails if they drift.
@@ -41,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"torhs/internal/cli"
@@ -66,6 +73,9 @@ func run(args []string, w io.Writer) error {
 		useCache = fs.Bool("cache", false, "serve experiments already persisted in the -out store instead of executing them")
 		ckptN    = fs.Int("checkpoint-every", 0, "snapshot long-running pipelines into the -out store every N windows (0 = off)")
 		resume   = fs.Bool("resume", false, "fold pipelines forward from the latest valid checkpoint in the -out store")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the study to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write an end-of-study heap profile to this file (inspect with go tool pprof)")
 
 		// Overrides: applied on top of the scenario preset only when set
 		// explicitly on the command line.
@@ -134,6 +144,33 @@ func run(args []string, w io.Writer) error {
 		if store, err = resultstore.Open(*outDir); err != nil {
 			return err
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		// Written on the way out so the profile captures the study's
+		// retained heap, not the flag-parsing prologue's.
+		defer func() {
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hsstudy: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	env, err := experiments.NewEnv(cfg)

@@ -1,7 +1,7 @@
 // Command torhsvet runs torhs's static-analysis suite (see
-// internal/analysis): detorder, detrand, hotalloc, cachekey, and
-// faultsite — the compile-time proofs of the determinism, hot-path,
-// cache-key, and fault-site-registry contracts.
+// internal/analysis): detorder, detrand, hotalloc, cachekey, faultsite,
+// and shardmerge — the compile-time proofs of the determinism, hot-path,
+// cache-key, fault-site-registry, and shard-merge-order contracts.
 //
 // Standalone (the CI entry point; exits 0 only when every package is
 // clean):

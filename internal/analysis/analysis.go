@@ -1,4 +1,4 @@
-// Package analysis is torhs's static-analysis suite: five repo-specific
+// Package analysis is torhs's static-analysis suite: six repo-specific
 // analyzers that prove the codebase's load-bearing contracts at compile
 // time, plus the package loader and directive machinery that drive them.
 //
@@ -21,6 +21,10 @@
 //     constant's value, and is registered in the fault package's sites
 //     map; fault.Hit / fault.MustHit calls pass named site constants,
 //     never inline strings.
+//   - shardmerge: functions annotated //torhs:shardmerge <param> fold
+//     their per-shard partial-result slice in ascending shard index
+//     order — the order that makes a contiguous-chunk merge reproduce
+//     the sequential result byte for byte.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer
 // / Pass / Diagnostic) so the suite can migrate to the upstream
@@ -92,7 +96,7 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite}
+	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite, ShardMerge}
 }
 
 // byName resolves an analyzer name; used to validate ignore directives.

@@ -22,12 +22,17 @@ import (
 //	//torhs:faultsite <name>             (const doc) the string constant
 //	                                     names a registered fault-injection
 //	                                     site (see internal/fault)
+//	//torhs:shardmerge <param>           (func doc) the function folds the
+//	                                     named shard-slice parameter and
+//	                                     must visit it in ascending index
+//	                                     order
 const (
 	dirIgnore           = "ignore"
 	dirHotPath          = "hotpath"
 	dirNoCacheKey       = "nocachekey"
 	dirOrderInsensitive = "orderinsensitive"
 	dirFaultSite        = "faultsite"
+	dirShardMerge       = "shardmerge"
 )
 
 // directivePrefix introduces every torhs directive comment.
@@ -97,9 +102,9 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, [
 					continue
 				}
 				switch d.kind {
-				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite:
+				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite, dirShardMerge:
 					// Positional; consumed by hotalloc / cachekey /
-					// detorder / faultsite respectively.
+					// detorder / faultsite / shardmerge respectively.
 				case dirIgnore:
 					analyzer, reason, _ := strings.Cut(d.args, " ")
 					reason = strings.TrimSpace(reason)

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardMerge proves the deterministic-merge contract of the sharded
+// kernels: a function annotated //torhs:shardmerge <param> folds a slice
+// of per-shard partial results, and the whole determinism story leans on
+// that fold visiting shards in ascending index order — shard spans are
+// contiguous ascending ranges (parallel.Chunks), so shard order is plan
+// order, and any other visiting order would silently reorder the merged
+// output. The analyzer requires:
+//
+//   - the directive documents a function declaration and names exactly
+//     one of its parameters, which must have a slice type;
+//   - every access to that parameter indexes it with a constant or with
+//     the loop variable of an ascending loop (a range statement, or a
+//     for statement whose post increments the variable) — a descending
+//     or strided walk, or indexing by arbitrary computed values, is
+//     reported;
+//   - the function actually iterates the parameter: a directive naming
+//     a parameter the body never folds is a stale annotation.
+var ShardMerge = &Analyzer{
+	Name: "shardmerge",
+	Doc: "//torhs:shardmerge functions must fold their shard-slice parameter in ascending " +
+		"index order (range loops or incrementing for loops; constant indexes aside)",
+	Run: runShardMerge,
+}
+
+func runShardMerge(pass *Pass) error {
+	consumed := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			args, ok := hasDirective(fd.Doc, dirShardMerge)
+			if !ok {
+				continue
+			}
+			consumed[directivePos(fd.Doc, dirShardMerge)] = true
+			checkShardMerge(pass, fd, args)
+		}
+	}
+	// A directive that attached to anything but a function declaration
+	// protects nothing; report it rather than let it rot.
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d, ok := parseDirective(c); ok && d.kind == dirShardMerge && !consumed[d.pos] {
+					pass.Reportf(d.pos, "//torhs:shardmerge must document a function declaration")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkShardMerge(pass *Pass, fd *ast.FuncDecl, name string) {
+	switch {
+	case name == "":
+		pass.Reportf(fd.Pos(), "//torhs:shardmerge needs the shard-slice parameter name")
+		return
+	case strings.ContainsAny(name, " \t"):
+		pass.Reportf(fd.Pos(), "//torhs:shardmerge takes a single parameter name, got %q", name)
+		return
+	}
+	param := paramByName(pass, fd, name)
+	if param == nil {
+		pass.Reportf(fd.Pos(), "//torhs:shardmerge names unknown parameter %q", name)
+		return
+	}
+	if _, ok := param.Type().Underlying().(*types.Slice); !ok {
+		pass.Reportf(fd.Pos(), "//torhs:shardmerge parameter %s must be a slice of per-shard partials, not %s",
+			name, param.Type())
+		return
+	}
+
+	// Loop variables proven to advance in ascending order. Each loop
+	// declares a distinct variable object, so one flat set is exact.
+	ascending := map[types.Object]bool{}
+	descending := map[types.Object]bool{}
+	iterates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Ranging over a slice visits indexes in ascending order by
+			// language definition.
+			if isParamIdent(pass, n.X, param) {
+				iterates = true
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						ascending[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if v, asc, ok := forDirection(pass, n); ok {
+				if asc {
+					ascending[v] = true
+				} else {
+					descending[v] = true
+				}
+			}
+		case *ast.IndexExpr:
+			if !isParamIdent(pass, n.X, param) {
+				return true
+			}
+			iterates = true
+			if tv, ok := pass.TypesInfo.Types[n.Index]; ok && tv.Value != nil {
+				return true // constant index (e.g. shards[0] as the merge seed)
+			}
+			if id, ok := ast.Unparen(n.Index).(*ast.Ident); ok {
+				obj := pass.TypesInfo.Uses[id]
+				switch {
+				case ascending[obj]:
+					return true
+				case descending[obj]:
+					pass.Reportf(n.Pos(), "%s is indexed by a descending loop variable; "+
+						"shard merges must fold in ascending shard order", name)
+					return true
+				}
+			}
+			pass.Reportf(n.Pos(), "%s must be indexed by an ascending loop variable or a constant: "+
+				"the merge order is the determinism contract", name)
+		}
+		return true
+	})
+	if !iterates {
+		pass.Reportf(fd.Pos(), "//torhs:shardmerge %s: the function never iterates its shard parameter "+
+			"(stale directive or wrong parameter name)", name)
+	}
+}
+
+// paramByName resolves a parameter object of fd by name.
+func paramByName(pass *Pass, fd *ast.FuncDecl, name string) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				return pass.TypesInfo.Defs[id]
+			}
+		}
+	}
+	return nil
+}
+
+// isParamIdent reports whether expr is an identifier resolving to param.
+func isParamIdent(pass *Pass, expr ast.Expr, param types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == param
+}
+
+// forDirection classifies a for statement's loop variable by its post
+// statement: i++ / i += c ascend, i-- / i -= c descend. Loops with no
+// classifiable post statement prove nothing either way.
+func forDirection(pass *Pass, n *ast.ForStmt) (types.Object, bool, bool) {
+	switch post := n.Post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(post.X).(*ast.Ident); ok {
+			if obj := lookupLoopVar(pass, id); obj != nil {
+				return obj, post.Tok == token.INC, true
+			}
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 && (post.Tok == token.ADD_ASSIGN || post.Tok == token.SUB_ASSIGN) {
+			if id, ok := ast.Unparen(post.Lhs[0]).(*ast.Ident); ok {
+				if obj := lookupLoopVar(pass, id); obj != nil {
+					return obj, post.Tok == token.ADD_ASSIGN, true
+				}
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// lookupLoopVar resolves the loop variable identifier, which is a use in
+// the post statement but may be defined in the loop init.
+func lookupLoopVar(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,111 @@
+// Package shardfixture is the shardmerge golden fixture. shardmerge is
+// annotation-driven: only //torhs:shardmerge functions are checked, and
+// the named parameter must be folded in ascending shard index order.
+package shardfixture
+
+type partial struct{ n int }
+
+// MergeRange folds with a range statement: ascending by definition.
+//
+//torhs:shardmerge shards
+func MergeRange(shards []partial) int {
+	total := 0
+	for i := range shards {
+		total += shards[i].n
+	}
+	for _, sh := range shards {
+		total += sh.n
+	}
+	return total
+}
+
+// MergeSeeded folds everything into shards[0] with an incrementing for
+// loop — the constant seed index and the ascending variable are clean.
+//
+//torhs:shardmerge shards
+func MergeSeeded(shards []partial) *partial {
+	dst := &shards[0]
+	for i := 1; i < len(shards); i++ {
+		dst.n += shards[i].n
+	}
+	return dst
+}
+
+// MergeStrided walks by two: still ascending.
+//
+//torhs:shardmerge shards
+func MergeStrided(shards []partial) int {
+	total := 0
+	for i := 0; i < len(shards); i += 2 {
+		total += shards[i].n
+	}
+	return total
+}
+
+// MergeBackwards folds highest shard first: the concatenation order it
+// produces is not plan order.
+//
+//torhs:shardmerge shards
+func MergeBackwards(shards []partial) int {
+	total := 0
+	for i := len(shards) - 1; i >= 0; i-- {
+		total += shards[i].n // want "descending loop variable"
+	}
+	return total
+}
+
+// MergeShuffled indexes by arbitrary computed values.
+//
+//torhs:shardmerge shards
+func MergeShuffled(shards []partial, order []int) int {
+	total := 0
+	for _, idx := range order {
+		total += shards[idx].n // want "must be indexed by an ascending loop variable or a constant"
+	}
+	return total
+}
+
+// MergeDecrementing uses a compound-assignment countdown.
+//
+//torhs:shardmerge shards
+func MergeDecrementing(shards []partial) int {
+	total := 0
+	for i := len(shards) - 1; i >= 0; i -= 1 {
+		total += shards[i].n // want "descending loop variable"
+	}
+	return total
+}
+
+// Unused never touches its annotated parameter.
+//
+//torhs:shardmerge shards
+func Unused(shards []partial) int { // want "never iterates its shard parameter"
+	return len([]partial{})
+}
+
+// NoSuchParam names a parameter that does not exist.
+//
+//torhs:shardmerge partials
+func NoSuchParam(shards []partial) int { // want "names unknown parameter"
+	total := 0
+	for i := range shards {
+		total += shards[i].n
+	}
+	return total
+}
+
+// NotASlice names a non-slice parameter.
+//
+//torhs:shardmerge count
+func NotASlice(shards []partial, count int) int { // want "must be a slice of per-shard partials"
+	return count
+}
+
+// Unannotated is out of scope however it folds.
+func Unannotated(shards []partial) int {
+	total := 0
+	for i := len(shards) - 1; i >= 0; i-- {
+		total += shards[i].n
+	}
+	return total
+}

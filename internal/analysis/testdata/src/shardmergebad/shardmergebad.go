@@ -1,0 +1,8 @@
+// Package shardfixturebad holds a misplaced shardmerge directive. The
+// diagnostic lands on the directive comment's own line, which a trailing
+// `// want` comment cannot share, so TestShardMergeMisplaced checks this
+// fixture by hand instead of through the golden harness.
+package shardfixturebad
+
+//torhs:shardmerge shards
+var Misplaced = []int{}

@@ -2,6 +2,7 @@ package content
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"torhs/internal/core/scan"
@@ -29,8 +30,10 @@ func TestCrawlIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 	dests := DestinationsFromPorts(sc.ScanAll(addrs).PerAddress)
 
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
 	var base *Result
-	for _, workers := range []int{1, 3, 8} {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
 		cr, err := New(fabric, cfg)

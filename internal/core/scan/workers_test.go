@@ -2,6 +2,7 @@ package scan
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"torhs/internal/darknet"
@@ -23,8 +24,10 @@ func TestScanAllIdenticalAcrossWorkerCounts(t *testing.T) {
 		addrs = append(addrs, s.Address)
 	}
 
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
 	var base *Result
-	for _, workers := range []int{1, 2, 8} {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
 		cfg := DefaultConfig(11)
 		cfg.Workers = workers
 		sc, err := New(fabric, cfg)

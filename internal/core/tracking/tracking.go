@@ -24,6 +24,7 @@ import (
 	"torhs/internal/consensus"
 	"torhs/internal/fault"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 	"torhs/internal/relay"
 	"torhs/internal/stats"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// HSDirUptime is the flag threshold (for rule 5's minimum-uptime
 	// check).
 	HSDirUptime time.Duration
+	// Workers shards the consensus sweep across goroutines (<= 0 means
+	// one per CPU). Shards sweep contiguous document ranges and merge in
+	// shard order, so the report is identical at every worker count.
+	// Checkpointed or resumed analyses always sweep sequentially:
+	// snapshots are per-document left folds.
+	Workers int
 }
 
 // DefaultConfig returns the paper's thresholds.
@@ -194,6 +201,17 @@ type relayState struct {
 	extraIPs   []string
 	switchAts  []time.Time
 
+	// Boundary fields for the sharded sweep's merge: what this state saw
+	// *first* in its document range, so the merge can stitch the seam
+	// against the preceding shard's *last* observations (fingerprint
+	// switches hiding at the boundary, responsible-day runs crossing it).
+	// mergeRelayState only ever reads them from a pristine single-shard
+	// state, never from an already-merged one.
+	firstFP      onion.Fingerprint
+	firstSeenAt  time.Time
+	firstRespDay int64 // unix day of the first responsibility, noRespDay if none
+	initRun      int   // length of the first consecutive responsible-day run
+
 	lastRespDay    int64 // unix day of the latest responsibility, noRespDay if none
 	curRun, maxRun int   // consecutive responsible days
 	respCount      int   // distinct responsible days
@@ -264,6 +282,7 @@ func (t *stateTable) alloc(id relay.ID) *relayState {
 	t.used++
 	st.report.RelayID = id
 	st.lastRespDay = noRespDay
+	st.firstRespDay = noRespDay
 	t.all = append(t.all, st)
 	return st
 }
@@ -276,13 +295,22 @@ func (st *relayState) markResponsible(day int64) {
 	if day == st.lastRespDay {
 		return
 	}
-	if day == st.lastRespDay+1 {
+	cont := day == st.lastRespDay+1
+	if cont {
 		st.curRun++
 	} else {
 		st.curRun = 1
 	}
 	if st.curRun > st.maxRun {
 		st.maxRun = st.curRun
+	}
+	// Track the first run for the shard merge: it keeps pace with
+	// respCount exactly until the first gap, then freezes.
+	if st.respCount == 0 {
+		st.firstRespDay = day
+		st.initRun = 1
+	} else if cont && st.initRun == st.respCount {
+		st.initRun++
 	}
 	st.lastRespDay = day
 	st.respCount++
@@ -345,6 +373,21 @@ func (a *Analyzer) AnalyzeCheckpointed(
 		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
 	}
 
+	// Without a checkpointer the sweep is free to shard: contiguous
+	// document ranges fold in parallel and merge in shard order, which
+	// reproduces the sequential left fold exactly (verified against the
+	// sequential path by the determinism tests). Checkpointed analyses
+	// stay sequential — their snapshots are per-document prefixes.
+	if ckpt == nil {
+		if shards := parallel.NumChunks(a.cfg.Workers, len(docs)); shards > 1 {
+			sw, err := a.sweepSharded(docs, target, shards)
+			if err != nil {
+				return nil, err
+			}
+			return a.report(sw, docs), nil
+		}
+	}
+
 	sw := sweep{
 		a: a,
 		// Scratch buffer reused across every (document, replica) pair:
@@ -387,6 +430,48 @@ func (a *Analyzer) AnalyzeCheckpointed(
 			}
 		}
 	}
+	return a.report(&sw, docs), nil
+}
+
+// sweepSharded folds docs through per-shard private sweeps over
+// contiguous document ranges and merges them in shard order. The fault
+// site still fires once per document; when several shards trip it, the
+// error of the lowest document index wins — the one the sequential sweep
+// would have hit first.
+func (a *Analyzer) sweepSharded(docs []*consensus.Document, target onion.PermanentID, shards int) (*sweep, error) {
+	sweeps := make([]sweep, shards)
+	type shardFail struct {
+		doc int
+		err error
+	}
+	fails := make([]shardFail, shards)
+	parallel.Chunks(shards, len(docs), func(shard, lo, hi int) {
+		sw := &sweeps[shard]
+		sw.a = a
+		sw.respBuf = make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
+		for i := lo; i < hi; i++ {
+			if err := fault.Hit(fault.SiteTrackingWindow); err != nil {
+				fails[shard] = shardFail{doc: i, err: fmt.Errorf("tracking: window %d: %w", i, err)}
+				return
+			}
+			sw.observeDoc(docs[i], target)
+		}
+	})
+	failDoc, failErr := -1, error(nil)
+	for s := range fails {
+		if fails[s].err != nil && (failDoc < 0 || fails[s].doc < failDoc) {
+			failDoc, failErr = fails[s].doc, fails[s].err
+		}
+	}
+	if failErr != nil {
+		return nil, failErr
+	}
+	return mergeSweeps(sweeps), nil
+}
+
+// report runs the wrap-up over a finished sweep: thresholds, per-relay
+// occurrence carving, rule judging, ordering, episode clustering.
+func (a *Analyzer) report(sw *sweep, docs []*consensus.Document) *Report {
 	states, totalHSDirs, occs, occStates := &sw.states, sw.totalHSDirs, sw.occs, sw.occStates
 
 	n := len(docs)
@@ -451,7 +536,141 @@ func (a *Analyzer) AnalyzeCheckpointed(
 		}
 	}
 	rep.Episodes = a.clusterEpisodes(rep)
-	return rep, nil
+	return rep
+}
+
+// mergeSweeps folds the per-shard partial sweeps into sweeps[0], in
+// shard index order. Document shards are contiguous ascending ranges, so
+// shard order is chronological order: relay states merging in src
+// creation order reproduces the sequential sweep's first-appearance
+// order, and the global occurrence list concatenates chronologically
+// with owner pointers remapped into the merged table.
+//
+//torhs:shardmerge sweeps
+//torhs:hotpath
+func mergeSweeps(sweeps []sweep) *sweep {
+	dst := &sweeps[0]
+	for i := 1; i < len(sweeps); i++ {
+		src := &sweeps[i]
+		dst.totalHSDirs += src.totalHSDirs
+		for _, sst := range src.states.all {
+			mergeRelayState(dst.states.get(sst.report.RelayID), sst)
+		}
+		dst.occs = append(dst.occs, src.occs...)
+		for _, sst := range src.occStates {
+			dst.occStates = append(dst.occStates, dst.states.get(sst.report.RelayID))
+		}
+	}
+	return dst
+}
+
+// mergeRelayState folds src — one relay's state over the *next*
+// contiguous document range — into dst, the same relay's state over
+// everything before it. All cross-range continuity is resolved here:
+// a fingerprint switch hiding at the seam (src first saw the relay under
+// a different fingerprint than dst last did), a responsible-day run
+// crossing it, and the boundary day counted by both ranges when the seam
+// falls inside one unix day. src must be a pristine single-range state:
+// its first* boundary fields are only meaningful there.
+func mergeRelayState(dst, src *relayState) {
+	if !dst.seen {
+		// The relay's first sighting was in src's range: adopt it
+		// wholesale. Slice fields transfer ownership — shard sweeps are
+		// discarded after the merge.
+		id := dst.report.RelayID
+		*dst = *src
+		dst.report.RelayID = id
+		return
+	}
+
+	dst.report.Switches += src.report.Switches
+	dst.report.FreshFlagResponsible += src.report.FreshFlagResponsible
+	if src.report.MaxRatio > dst.report.MaxRatio {
+		dst.report.MaxRatio = src.report.MaxRatio
+	}
+	dst.occCount += src.occCount
+
+	// Seam fingerprint switch, recorded at the document where src first
+	// saw the relay — exactly where the sequential sweep records it.
+	if src.firstFP != dst.lastFP {
+		dst.report.Switches++
+		dst.switchAts = append(dst.switchAts, src.firstSeenAt)
+	}
+	// Distinct fingerprint set: union, keeping the nil-means-{lastFP}
+	// encoding while the union stays a single fingerprint.
+	if dst.fps != nil || src.fps != nil || src.lastFP != dst.lastFP {
+		if dst.fps == nil {
+			dst.fps = append(make([]onion.Fingerprint, 0, 4), dst.lastFP)
+		}
+		if src.fps == nil {
+			dst.fps = appendFPAbsent(dst.fps, src.lastFP)
+		} else {
+			for _, fp := range src.fps {
+				dst.fps = appendFPAbsent(dst.fps, fp)
+			}
+		}
+	}
+	dst.switchAts = append(dst.switchAts, src.switchAts...)
+	dst.lastFP = src.lastFP
+
+	if src.nick0 != dst.nick0 {
+		dst.extraNicks = appendStrAbsent(dst.extraNicks, src.nick0)
+	}
+	for _, v := range src.extraNicks {
+		if v != dst.nick0 {
+			dst.extraNicks = appendStrAbsent(dst.extraNicks, v)
+		}
+	}
+	if src.ip0 != dst.ip0 {
+		dst.extraIPs = appendStrAbsent(dst.extraIPs, src.ip0)
+	}
+	for _, v := range src.extraIPs {
+		if v != dst.ip0 {
+			dst.extraIPs = appendStrAbsent(dst.extraIPs, v)
+		}
+	}
+
+	if src.respCount > 0 {
+		if dst.respCount == 0 {
+			dst.firstRespDay = src.firstRespDay
+			dst.initRun = src.initRun
+			dst.lastRespDay = src.lastRespDay
+			dst.curRun = src.curRun
+			dst.maxRun = src.maxRun
+			dst.respCount = src.respCount
+		} else {
+			// Days are nondecreasing across the document order, so src's
+			// first responsible day is >= dst's last. Two seams need
+			// stitching: the same unix day observed by both ranges (the
+			// sequential sweep counts it once), and a run continuing
+			// straight across the boundary (bridged = its true length).
+			bridged := 0
+			switch src.firstRespDay {
+			case dst.lastRespDay:
+				dst.respCount += src.respCount - 1
+				bridged = dst.curRun + src.initRun - 1
+			case dst.lastRespDay + 1:
+				dst.respCount += src.respCount
+				bridged = dst.curRun + src.initRun
+			default:
+				dst.respCount += src.respCount
+			}
+			if src.maxRun > dst.maxRun {
+				dst.maxRun = src.maxRun
+			}
+			if bridged > dst.maxRun {
+				dst.maxRun = bridged
+			}
+			if bridged > 0 && src.initRun == src.respCount {
+				// src was one unbroken run; the bridge extends it, so it
+				// is still the current run.
+				dst.curRun = bridged
+			} else {
+				dst.curRun = src.curRun
+			}
+			dst.lastRespDay = src.lastRespDay
+		}
+	}
 }
 
 // sweep is the accumulation state of one Analyze pass over a consensus
@@ -482,19 +701,23 @@ type sweepSnapshot struct {
 
 // relaySnap serializes one relayState (gob needs exported fields).
 type relaySnap struct {
-	Report      RelayReport
-	Seen        bool
-	LastFP      onion.Fingerprint
-	FPs         []onion.Fingerprint
-	Nick0, IP0  string
-	ExtraNicks  []string
-	ExtraIPs    []string
-	SwitchAts   []time.Time
-	LastRespDay int64
-	CurRun      int
-	MaxRun      int
-	RespCount   int
-	OccCount    int
+	Report       RelayReport
+	Seen         bool
+	LastFP       onion.Fingerprint
+	FPs          []onion.Fingerprint
+	Nick0, IP0   string
+	ExtraNicks   []string
+	ExtraIPs     []string
+	SwitchAts    []time.Time
+	FirstFP      onion.Fingerprint
+	FirstSeenAt  time.Time
+	FirstRespDay int64
+	InitRun      int
+	LastRespDay  int64
+	CurRun       int
+	MaxRun       int
+	RespCount    int
+	OccCount     int
 }
 
 // snapshot captures the sweep after docs folded documents.
@@ -504,20 +727,24 @@ func (sw *sweep) snapshot(docs int) *sweepSnapshot {
 	for i, st := range sw.states.all {
 		idx[st] = i
 		states[i] = relaySnap{
-			Report:      st.report,
-			Seen:        st.seen,
-			LastFP:      st.lastFP,
-			FPs:         st.fps,
-			Nick0:       st.nick0,
-			IP0:         st.ip0,
-			ExtraNicks:  st.extraNicks,
-			ExtraIPs:    st.extraIPs,
-			SwitchAts:   st.switchAts,
-			LastRespDay: st.lastRespDay,
-			CurRun:      st.curRun,
-			MaxRun:      st.maxRun,
-			RespCount:   st.respCount,
-			OccCount:    st.occCount,
+			Report:       st.report,
+			Seen:         st.seen,
+			LastFP:       st.lastFP,
+			FPs:          st.fps,
+			Nick0:        st.nick0,
+			IP0:          st.ip0,
+			ExtraNicks:   st.extraNicks,
+			ExtraIPs:     st.extraIPs,
+			SwitchAts:    st.switchAts,
+			FirstFP:      st.firstFP,
+			FirstSeenAt:  st.firstSeenAt,
+			FirstRespDay: st.firstRespDay,
+			InitRun:      st.initRun,
+			LastRespDay:  st.lastRespDay,
+			CurRun:       st.curRun,
+			MaxRun:       st.maxRun,
+			RespCount:    st.respCount,
+			OccCount:     st.occCount,
 		}
 	}
 	owners := make([]int, len(sw.occStates))
@@ -550,6 +777,10 @@ func (sw *sweep) restore(snap *sweepSnapshot) {
 		st.extraNicks = ss.ExtraNicks
 		st.extraIPs = ss.ExtraIPs
 		st.switchAts = ss.SwitchAts
+		st.firstFP = ss.FirstFP
+		st.firstSeenAt = ss.FirstSeenAt
+		st.firstRespDay = ss.FirstRespDay
+		st.initRun = ss.InitRun
 		st.lastRespDay = ss.LastRespDay
 		st.curRun = ss.CurRun
 		st.maxRun = ss.MaxRun
@@ -592,6 +823,8 @@ func (sw *sweep) observeDoc(doc *consensus.Document, target onion.PermanentID) {
 		if !st.seen {
 			st.seen = true
 			st.lastFP = e.Fingerprint
+			st.firstFP = e.Fingerprint
+			st.firstSeenAt = doc.ValidAfter
 			st.nick0 = e.Nickname
 			st.ip0 = e.IP
 			continue

@@ -331,23 +331,7 @@ func (t *Trawler) Run(
 				t.readDirectory(net, fp, out)
 			}
 		})
-		for i := range shards {
-			sh := &shards[i]
-			h.DescriptorsSeen += sh.descriptorsSeen
-			for a, id := range sh.permIDs {
-				h.Addresses[a] = true
-				h.PermIDs[a] = id
-			}
-			for id := range sh.publishedIDs {
-				publishedIDs[id] = true
-			}
-			for id := range sh.requestedPublished {
-				requestedPublished[id] = true
-			}
-			for _, log := range sh.logs {
-				h.Log.Merge(log)
-			}
-		}
+		t.mergeReadouts(h, publishedIDs, requestedPublished, shards)
 		h.StepCoverage = append(h.StepCoverage, float64(len(attacker))/float64(len(hsdirs)))
 
 		// Snapshot after the step's accumulators are complete. The final
@@ -376,6 +360,37 @@ func (t *Trawler) Run(
 		h.CollectedFraction = float64(len(h.Addresses)) / float64(len(published))
 	}
 	return h, nil
+}
+
+// mergeReadouts folds the per-shard read-out partials into the harvest
+// accumulators, iterating shards in index order — shard spans are
+// contiguous ascending directory ranges, so shard-then-directory order
+// is directory order. Every scalar is a sum, every map a set union, and
+// the request logs land through one bulk MergeAll per step, so one merge
+// per step is all the synchronization the read-out ever does.
+//
+//torhs:shardmerge shards
+//torhs:hotpath
+func (t *Trawler) mergeReadouts(
+	h *Harvest,
+	publishedIDs, requestedPublished map[onion.DescriptorID]bool,
+	shards []readout,
+) {
+	for i := range shards {
+		sh := &shards[i]
+		h.DescriptorsSeen += sh.descriptorsSeen
+		for a, id := range sh.permIDs {
+			h.Addresses[a] = true
+			h.PermIDs[a] = id
+		}
+		for id := range sh.publishedIDs {
+			publishedIDs[id] = true
+		}
+		for id := range sh.requestedPublished {
+			requestedPublished[id] = true
+		}
+		h.Log.MergeAll(sh.logs)
+	}
 }
 
 // readout is one worker's partial read of the attacker directories.

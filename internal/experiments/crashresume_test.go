@@ -6,6 +6,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"torhs/internal/fault"
@@ -50,8 +52,8 @@ func TestCrashResumeChild(t *testing.T) {
 	}
 	dir := os.Getenv(crashDirEnv)
 	workers := 1
-	if os.Getenv(crashWorkersEnv) == "0" {
-		workers = 0
+	if n, err := strconv.Atoi(os.Getenv(crashWorkersEnv)); err == nil {
+		workers = n
 	}
 	store, err := resultstore.Open(filepath.Join(dir, "store"))
 	if err != nil {
@@ -93,7 +95,16 @@ func parseNames(s string) []string {
 func runChild(t *testing.T, dir, selector string, workers int, faultSpec string, resume bool) (int, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashResumeChild$", "-test.count=1")
-	cmd.Env = append(os.Environ(),
+	// Pin the child's GOMAXPROCS (dropping any inherited value — the
+	// runtime takes the first match) so the worker matrix exercises real
+	// sharding even on small runners.
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, "GOMAXPROCS=") {
+			cmd.Env = append(cmd.Env, kv)
+		}
+	}
+	cmd.Env = append(cmd.Env,
+		"GOMAXPROCS=8",
 		crashChildEnv+"=1",
 		crashDirEnv+"="+dir,
 		crashSelectEnv+"="+selector,
@@ -141,8 +152,8 @@ func matrixCells() []crashCell {
 }
 
 // TestResumeByteIdentical is the acceptance-criterion matrix: kill at
-// every registered fault site, at workers=1 and workers=all, and
-// require the resumed output to equal the uninterrupted run's bytes.
+// every registered fault site, at workers=1, workers=4 and workers=all,
+// and require the resumed output to equal the uninterrupted run's bytes.
 func TestResumeByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-exec matrix is not short")
@@ -165,7 +176,7 @@ func TestResumeByteIdentical(t *testing.T) {
 		return ref
 	}
 
-	for _, workers := range []int{1, 0} {
+	for _, workers := range []int{1, 4, 0} {
 		crashed := 0
 		for _, cell := range matrixCells() {
 			name := fmt.Sprintf("%s/workers=%d", cell.site, workers)

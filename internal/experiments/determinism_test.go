@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 )
 
@@ -32,16 +33,24 @@ func renderAll(t *testing.T, seed int64, workers int) string {
 // rendered output at any worker count. Run under -race this also
 // exercises every concurrent path in the pipeline.
 func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	// Pin GOMAXPROCS so the Effective clamp cannot collapse the matrix
+	// to one shard on small runners: every worker count below must
+	// exercise real sharding.
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
 	serial := renderAll(t, 7, 1)
-	parallel8 := renderAll(t, 7, 8)
-	if serial != parallel8 {
-		t.Fatalf("RunAll output differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel8)
-	}
 	if len(serial) == 0 {
 		t.Fatal("RunAll rendered nothing")
 	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		if out := renderAll(t, 7, workers); out != serial {
+			t.Fatalf("RunAll output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial, workers, out)
+		}
+	}
 	// And re-running at the same worker count must be stable too.
-	if again := renderAll(t, 7, 8); again != parallel8 {
+	if again := renderAll(t, 7, 8); again != serial {
 		t.Fatal("RunAll output not stable across repeated Workers=8 runs")
 	}
 }

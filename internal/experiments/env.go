@@ -107,6 +107,7 @@ func (e *Env) Population() (*hspop.Population, error) {
 	return e.pop.get(func() (*hspop.Population, error) {
 		popCfg := hspop.PaperConfig(e.cfg.Seed)
 		popCfg.Scale = e.cfg.Scale
+		popCfg.Workers = e.cfg.Workers
 		if e.cfg.BotFactor > 0 {
 			popCfg.SkynetBots = int(float64(popCfg.SkynetBots) * e.cfg.BotFactor)
 		}

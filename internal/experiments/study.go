@@ -537,7 +537,9 @@ func (e *Env) runTracking() (*TrackingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	an, err := tracking.NewAnalyzer(tracking.DefaultConfig())
+	tkCfg := tracking.DefaultConfig()
+	tkCfg.Workers = e.cfg.Workers
+	an, err := tracking.NewAnalyzer(tkCfg)
 	if err != nil {
 		return nil, err
 	}

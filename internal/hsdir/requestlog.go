@@ -148,6 +148,43 @@ func (l *RequestLog) Requests() []Request {
 	return out
 }
 
+// MergeAll folds every log in others into l in slice order, with one
+// snapshot pass over the sources and a single bulk append under l's
+// lock. This is the one-merge-per-step path of the trawl read-out: the
+// per-shard directory logs land in shard-then-directory order, and the
+// lazy per-ID map is invalidated once instead of once per source. The
+// source logs are left unchanged.
+func (l *RequestLog) MergeAll(others []*RequestLog) {
+	need := 0
+	for _, o := range others {
+		if o != nil && o != l {
+			need += o.Total()
+		}
+	}
+	if need == 0 {
+		return
+	}
+	// Snapshot every source under its own lock only, then append under
+	// l's lock only — the two locks are never held together (same
+	// no-ordering-to-deadlock-on discipline as Merge).
+	scratch := make([]Request, 0, need)
+	found := 0
+	for _, o := range others {
+		if o == nil || o == l {
+			continue
+		}
+		o.mu.Lock()
+		scratch = append(scratch, o.requests...)
+		found += o.found
+		o.mu.Unlock()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests = append(l.requests, scratch...)
+	l.found += found
+	l.perID = nil // cheaper to rebuild once than to fold map into map
+}
+
 // Merge folds other's requests into l with one bulk append, taking each
 // log's lock exactly once. The other log is left unchanged.
 func (l *RequestLog) Merge(other *RequestLog) {

@@ -103,6 +103,12 @@ type Config struct {
 	PopularTail int
 	// TailExponent is the power-law exponent of the popularity tail.
 	TailExponent float64
+
+	// Workers shards the population's identity derivation (SHA-1
+	// permanent IDs and base32 onion addresses) across goroutines
+	// (<= 0 means one per CPU). The derivation draws no randomness, so
+	// the generated population is identical at every worker count.
+	Workers int
 }
 
 // PaperConfig returns the full-scale configuration calibrated to the

@@ -9,6 +9,7 @@ import (
 
 	"torhs/internal/corpus"
 	"torhs/internal/onion"
+	"torhs/internal/parallel"
 )
 
 // Population is a generated hidden-service landscape. Populations are
@@ -49,8 +50,12 @@ func Generate(cfg Config) (*Population, error) {
 	g.pageArena.chunk = estimate
 	g.miscPorts = g.pickMiscPorts()
 	g.buildHead()
+	// The head must resolve addresses before the clones can mine the
+	// Silk Road vanity prefix and dedup against the index.
+	g.deriveIdentities()
 	g.buildPhishingClones()
 	g.buildBody()
+	g.deriveIdentities()
 	g.assignCerts()
 	g.assignPopularityTail()
 	g.buildLinkGraph()
@@ -104,6 +109,9 @@ type generator struct {
 	pop       *Population
 	seq       int
 	miscPorts []int
+	// derived marks how many of pop.Services have their identity
+	// (PermID, Address) resolved and indexed; deriveIdentities advances it.
+	derived int
 
 	svcArena  arena[Service]
 	pageArena arena[Page]
@@ -126,22 +134,45 @@ var (
 	portsSSHOnly   = []int{PortSSH}
 )
 
+// newService draws the service's key from the generator RNG but defers
+// the derived identity (SHA-1 permanent ID, base32 address) to the next
+// deriveIdentities flush: the derivation is the expensive part of
+// generation and draws no randomness, so batching it keeps the RNG
+// stream untouched while the hashing fans out over all CPUs.
 func (g *generator) newService(kind Kind) *Service {
 	key := onion.GenerateKey(g.rng)
-	id := key.PermanentID()
 	s := g.svcArena.take()
 	*s = Service{
-		Seq:     g.seq,
-		Key:     key,
-		Address: onion.AddressFromID(id),
-		PermID:  id,
-		Kind:    kind,
-		Ports:   map[int]PortState{},
+		Seq:   g.seq,
+		Key:   key,
+		Kind:  kind,
+		Ports: map[int]PortState{},
 	}
 	g.seq++
 	g.pop.Services = append(g.pop.Services, s)
-	g.pop.byAddr[s.Address] = s
 	return s
+}
+
+// deriveIdentities resolves PermID and Address for every service created
+// since the last flush and indexes them in byAddr. The per-service work
+// is a pure function of the already-drawn key, so the shards cannot
+// observe each other and the population is byte-identical at every
+// worker count; only the index fill stays sequential (map writes).
+func (g *generator) deriveIdentities() {
+	pending := g.pop.Services[g.derived:]
+	parallel.ForEach(g.cfg.Workers, len(pending), func(i int) {
+		s := pending[i]
+		if s.Key == nil {
+			return // phishing clones carry a pre-mined identity
+		}
+		id := s.Key.PermanentID()
+		s.PermID = id
+		s.Address = onion.AddressFromID(id)
+	})
+	for _, s := range pending {
+		g.pop.byAddr[s.Address] = s
+	}
+	g.derived = len(g.pop.Services)
 }
 
 // pickMiscPorts samples the distinct uncommon port numbers for the Misc

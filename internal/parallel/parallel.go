@@ -23,15 +23,30 @@ func Workers(n int) int {
 	return n
 }
 
+// Effective clamps a worker-count knob for an n-item loop to
+// min(Workers(workers), n, GOMAXPROCS): more goroutines than items or
+// schedulable CPUs only add spawn and scheduling overhead, never
+// throughput, and the clamp is what gives Workers==1 (and 1-core boxes)
+// a zero-spawn sequential path in ForEach and Chunks.
+func Effective(workers, n int) int {
+	w := Workers(workers)
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // ForEach runs fn(i) for every i in [0,n) on up to workers goroutines.
 // It blocks until all calls return. fn must be safe to call concurrently;
 // the assignment of indexes to goroutines is unspecified, so fn must not
-// depend on execution order.
+// depend on execution order. With workers <= 1 (after clamping to n and
+// GOMAXPROCS) the calls run inline on the caller's goroutine, in index
+// order, with no goroutine spawned.
 func ForEach(workers, n int, fn func(i int)) {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = Effective(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -78,7 +93,11 @@ func ForEach(workers, n int, fn func(i int)) {
 // Chunks partitions [0,n) into at most workers contiguous [lo,hi) spans
 // of near-equal size and runs fn on each concurrently. Use it when a
 // shard needs its own accumulator that is later merged in shard order:
-// fn(shard, lo, hi) with shard in [0, NumChunks(workers, n)).
+// fn(shard, lo, hi) with shard in [0, NumChunks(workers, n)). Because the
+// spans are contiguous and ascending, concatenating per-shard results in
+// shard index order reproduces global index order exactly — the property
+// every deterministic merge in this repo leans on. A single shard (after
+// clamping) runs inline with no goroutine spawned.
 func Chunks(workers, n int, fn func(shard, lo, hi int)) {
 	shards := NumChunks(workers, n)
 	if shards == 0 {
@@ -106,11 +125,7 @@ func Chunks(workers, n int, fn func(shard, lo, hi int)) {
 // itself derives its shard count from this function, so the two can
 // never disagree.
 func NumChunks(workers, n int) int {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	return workers
+	return Effective(workers, n)
 }
 
 // Group runs a set of tasks concurrently and collects every error, in

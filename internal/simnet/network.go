@@ -253,17 +253,113 @@ func (n *Network) publishService(svc *hspop.Service, now time.Time, sc *publishS
 }
 
 // PublishAll uploads descriptors for every descriptor-bearing service in
-// the population and returns the number published. Descriptor placement
-// is batched: one responsible-set scratch buffer serves the whole sweep
-// and the secret-id-parts of the window are computed (at most) once.
+// the population and returns the number published.
+//
+// The sweep is sharded: host and intro-point establishment draw from the
+// network RNG and stay sequential (preserving the RNG byte stream
+// exactly), then each worker derives descriptor IDs and responsible sets
+// for a contiguous span of services into private staging buffers, and a
+// merge phase applies the staged placements per directory in
+// shard-then-service order — which is service order, so every
+// directory's store sees the exact insertion sequence of a sequential
+// sweep. Observer-tapped networks (the service-deanon tap) draw a guard
+// pick from the network RNG per upload and must announce events in
+// service order, so they take the sequential path, as does Workers==1
+// (no goroutines, no staging).
 func (n *Network) PublishAll(pop *hspop.Population, now time.Time) int {
-	var sc publishScratch
-	count := 0
-	for _, svc := range pop.WithDescriptor() {
-		n.publishService(svc, now, &sc)
-		count++
+	svcs := pop.WithDescriptor()
+	shards := parallel.NumChunks(n.workers, len(svcs))
+	if len(n.uploadObservers) > 0 || shards <= 1 {
+		var sc publishScratch
+		for _, svc := range svcs {
+			n.publishService(svc, now, &sc)
+		}
+		return len(svcs)
 	}
-	return count
+
+	// Phase 1 (sequential): establish hosts and intro points in service
+	// order — the only RNG draws of an untapped publish sweep.
+	hosts := make([]*Host, len(svcs))
+	for i, svc := range svcs {
+		hosts[i] = n.ensureHost(svc)
+		if len(hosts[i].intros) == 0 {
+			n.establishIntroPoints(hosts[i], 3)
+		}
+	}
+
+	// Phase 2 (parallel): derive and stage. Each shard owns a span of
+	// services, a private responsible-set scratch, its span of the
+	// shared descriptor array, and private staging buffers + counts —
+	// zero cross-shard synchronization.
+	nd := len(n.dirs)
+	descs := make([]onion.Descriptor, onion.Replicas*len(svcs))
+	type staged struct {
+		dirs    []int32 // placement target ring positions, service order
+		descIdx []int32 // parallel indexes into descs
+	}
+	stage := make([]staged, shards)
+	countsPtr := grabZeroed[int32](&i32Pool, shards*nd)
+	defer i32Pool.Put(countsPtr)
+	counts := *countsPtr
+	parallel.Chunks(shards, len(svcs), func(shard, lo, hi int) {
+		var sc publishScratch
+		est := (hi - lo) * onion.Replicas * onion.SpreadPerReplica
+		pls := make([]int32, 0, est)
+		dix := make([]int32, 0, est)
+		cnt := counts[shard*nd : (shard+1)*nd]
+		for si := lo; si < hi; si++ {
+			svc := svcs[si]
+			var ids [onion.Replicas]onion.DescriptorID
+			if n.secrets != nil {
+				ids = n.secrets.DescriptorIDsAt(svc.PermID, now)
+			} else {
+				ids = onion.DescriptorIDs(svc.PermID, now)
+			}
+			intros := hosts[si].IntroPoints()
+			for replica, descID := range ids {
+				di := int32(si*onion.Replicas + replica)
+				descs[di] = onion.Descriptor{
+					DescID:      descID,
+					Address:     svc.Address,
+					PermID:      svc.PermID,
+					Replica:     uint8(replica),
+					PublishedAt: now,
+					IntroPoints: intros,
+				}
+				sc.pos = n.ring.ResponsibleIndicesInto(sc.pos[:0], descID, onion.SpreadPerReplica)
+				for _, pos := range sc.pos {
+					pls = append(pls, pos)
+					dix = append(dix, di)
+					cnt[pos]++
+				}
+			}
+		}
+		stage[shard] = staged{dirs: pls, descIdx: dix}
+	})
+
+	// Phase 3 (merge): cursor the staged counts into one placement arena
+	// ordered directory-major then shard-then-service, and apply each
+	// directory's span independently (each Directory has its own lock
+	// and sees its placements in exact service order).
+	dirOffsPtr := grabZeroed[int32](&i32Pool, nd+1)
+	defer i32Pool.Put(dirOffsPtr)
+	dirOffs := *dirOffsPtr
+	total := shardFillCursors(counts, dirOffs, shards, nd)
+	arena := make([]*onion.Descriptor, total)
+	parallel.ForEach(shards, shards, func(shard int) {
+		cur := counts[shard*nd : (shard+1)*nd]
+		st := &stage[shard]
+		for k, pos := range st.dirs {
+			arena[cur[pos]] = &descs[st.descIdx[k]]
+			cur[pos]++
+		}
+	})
+	parallel.ForEach(n.workers, nd, func(d int) {
+		for _, desc := range arena[dirOffs[d]:dirOffs[d+1]] {
+			n.dirs[d].Publish(desc, now)
+		}
+	})
+	return len(svcs)
 }
 
 // FetchEvent describes one descriptor fetch as the network executed it.
@@ -468,6 +564,8 @@ var (
 	planPool = sync.Pool{New: func() any { return new([]planEntry) }}
 	recsPool = sync.Pool{New: func() any { return new([]fetchRec) }}
 	reqsPool = sync.Pool{New: func() any { return new([]hsdir.Request) }}
+	idsPool  = sync.Pool{New: func() any { return new([]onion.DescriptorID) }}
+	i32Pool  = sync.Pool{New: func() any { return new([]int32) }}
 )
 
 // grabSlice returns a zero-length slice with capacity >= n from the
@@ -478,6 +576,20 @@ func grabSlice[T any](pool *sync.Pool, n int) *[]T {
 		*p = make([]T, 0, n)
 	}
 	*p = (*p)[:0]
+	return p
+}
+
+// grabZeroed returns a length-n zeroed slice from the pooled backing
+// array (grabSlice hands out dirty capacity; counting buffers need
+// zeroes).
+func grabZeroed[T any](pool *sync.Pool, n int) *[]T {
+	p := grabSlice[T](pool, n)
+	var zero T
+	s := (*p)[:n]
+	for i := range s {
+		s[i] = zero
+	}
+	*p = s
 	return p
 }
 
@@ -549,7 +661,9 @@ func (n *Network) DriveWindow(
 		phantomTotal = int(float64(realTotal) * phantomFrac / (1 - phantomFrac))
 	}
 	nPhantomIDs := pop.Config.ScaledPhantomIDs()
-	phantomIDs := make([]onion.DescriptorID, nPhantomIDs)
+	phantomPtr := grabSlice[onion.DescriptorID](&idsPool, nPhantomIDs)
+	defer idsPool.Put(phantomPtr)
+	phantomIDs := (*phantomPtr)[:nPhantomIDs]
 	for i := range phantomIDs {
 		f := onion.RandomFingerprint(n.rng)
 		copy(phantomIDs[i][:], f[:])
@@ -566,23 +680,41 @@ func (n *Network) DriveWindow(
 	// Phase 2: execute the fetches concurrently. Each request derives
 	// its RNG from (planSeed, index) — one reseeded RNG per worker, not
 	// one allocation per request — probes the descriptor stores without
-	// taking any lock, and notes which directory answered. Warmed guard
-	// sets are only read: warming refreshed every guard that would
-	// expire before end. A freshly refreshed guard is stable for
-	// minGuardLifetime, so for windows that long or longer the
-	// no-mid-window-rotation guarantee cannot hold and we fall back to
-	// serial execution (identical results at every Workers value either
-	// way, since the plan already fixes each request's RNG).
+	// taking any lock, and notes which directory answered. Every shard
+	// is fully private: its own fetch scratch (descriptor-ID and
+	// responsible-set memos), its own RNG stream, its own stats tally,
+	// and its own per-directory staging counts — zero cross-shard
+	// synchronization until the merge. Warmed guard sets are only read:
+	// warming refreshed every guard that would expire before end. A
+	// freshly refreshed guard is stable for minGuardLifetime, so for
+	// windows that long or longer the no-mid-window-rotation guarantee
+	// cannot hold and we fall back to serial execution (identical
+	// results at every Workers value either way, since the plan already
+	// fixes each request's RNG).
 	workers := n.workers
 	if window >= minGuardLifetime {
 		workers = 1
 	}
+	shards := parallel.NumChunks(workers, len(plan))
+	if shards == 0 {
+		return out
+	}
 	recsPtr := grabSlice[fetchRec](&recsPool, len(plan))
 	defer recsPool.Put(recsPtr)
 	recs := (*recsPtr)[:len(plan)] // pointer-free: never GC-scanned
-	parallel.Chunks(workers, len(plan), func(shard, lo, hi int) {
+	nd := len(n.dirs)
+	// counts[shard*nd+d] stages shard's answered-request count for
+	// directory d; after the drive it is rewritten in place into the
+	// shard's fill cursors for the routing arena.
+	countsPtr := grabZeroed[int32](&i32Pool, shards*nd)
+	defer i32Pool.Put(countsPtr)
+	counts := *countsPtr
+	shardStats := make([]TrafficStats, shards)
+	parallel.Chunks(shards, len(plan), func(shard, lo, hi int) {
 		var sc fetchScratch
 		rng := parallel.NewRNG(0)
+		cnt := counts[shard*nd : (shard+1)*nd]
+		st := &shardStats[shard]
 		for i := lo; i < hi; i++ {
 			rng.Seed(parallel.SeedFor(planSeed, int64(i)))
 			at := start.Add(time.Duration(rng.Int63n(int64(window))))
@@ -594,64 +726,105 @@ func (n *Network) DriveWindow(
 					idx = len(phantomIDs) - 1
 				}
 				recs[i] = n.fetchByID(rng, c, phantomIDs[idx], at, &sc)
+				st.PhantomRequests++
 			} else {
 				recs[i] = n.fetchDescriptor(rng, c, plan[i].permID, at, &sc)
+			}
+			st.TotalRequests++
+			if recs[i].found {
+				st.ResolvedHits++
+			}
+			if recs[i].answered >= 0 {
+				cnt[recs[i].answered]++
 			}
 		}
 	})
 
-	// Phase 3: replay in plan order.
-	for i := range recs {
-		out.TotalRequests++
-		if recs[i].found {
-			out.ResolvedHits++
-		}
-		if plan[i].phantom {
-			out.PhantomRequests++
-		}
-		if observer != nil {
+	// Phase 3: merge. Stats fold in shard index order; the observer —
+	// when one is tapped in — replays the records sequentially in plan
+	// order (the records are already globally ordered: chunk spans are
+	// contiguous and ascending).
+	out = mergeWindowStats(shardStats)
+	if observer != nil {
+		for i := range recs {
 			observer(n.event(&recs[i]))
 		}
 	}
 
-	// Route the window's request records to the per-directory logs: one
-	// shared arena carved into per-directory spans (filled in plan
-	// order, so log contents no longer depend on fetch scheduling), one
-	// bulk RecordBatch per directory.
-	counts := make([]int32, len(n.dirs))
-	total := 0
-	for i := range recs {
-		if recs[i].answered >= 0 {
-			counts[recs[i].answered]++
-			total++
-		}
-	}
+	// Route the window's request records to the per-directory logs: the
+	// staged per-shard counts become fill cursors into one shared arena
+	// whose directory spans are ordered shard-then-plan — which *is*
+	// plan order, so log contents are byte-identical at every worker
+	// count — then each shard copies its own records into its disjoint
+	// cursor ranges in parallel, and the per-directory RecordBatch calls
+	// (independent logs, one batch each) fan out too.
+	dirOffsPtr := grabZeroed[int32](&i32Pool, nd+1)
+	defer i32Pool.Put(dirOffsPtr)
+	dirOffs := *dirOffsPtr
+	total := shardFillCursors(counts, dirOffs, shards, nd)
 	if total > 0 {
-		arenaPtr := grabSlice[hsdir.Request](&reqsPool, total)
+		arenaPtr := grabSlice[hsdir.Request](&reqsPool, int(total))
 		defer reqsPool.Put(arenaPtr)
 		arena := (*arenaPtr)[:total]
-		offs := make([]int32, len(n.dirs)+1)
-		for d, c := range counts {
-			offs[d+1] = offs[d] + c
-		}
-		fill := make([]int32, len(n.dirs))
-		for i := range recs {
-			d := recs[i].answered
-			if d < 0 {
-				continue
+		parallel.Chunks(shards, len(plan), func(shard, lo, hi int) {
+			cur := counts[shard*nd : (shard+1)*nd]
+			for i := lo; i < hi; i++ {
+				d := recs[i].answered
+				if d < 0 {
+					continue
+				}
+				arena[cur[d]] = hsdir.Request{
+					At:     time.Unix(0, recs[i].atNanos).UTC(),
+					DescID: recs[i].descID,
+					Found:  recs[i].found,
+				}
+				cur[d]++
 			}
-			arena[offs[d]+fill[d]] = hsdir.Request{
-				At:     time.Unix(0, recs[i].atNanos).UTC(),
-				DescID: recs[i].descID,
-				Found:  recs[i].found,
+		})
+		parallel.ForEach(workers, nd, func(d int) {
+			if dirOffs[d+1] > dirOffs[d] {
+				n.dirs[d].Log().RecordBatch(arena[dirOffs[d]:dirOffs[d+1]])
 			}
-			fill[d]++
-		}
-		for d, c := range counts {
-			if c > 0 {
-				n.dirs[d].Log().RecordBatch(arena[offs[d]:offs[d+1]])
-			}
-		}
+		})
 	}
 	return out
+}
+
+// mergeWindowStats folds the per-shard traffic tallies of a driven
+// window, iterating shards in index order (every field is a sum, but the
+// order is part of the merge contract the analyzer checks).
+//
+//torhs:shardmerge shards
+//torhs:hotpath
+func mergeWindowStats(shards []TrafficStats) TrafficStats {
+	var out TrafficStats
+	for i := range shards {
+		out.TotalRequests += shards[i].TotalRequests
+		out.PhantomRequests += shards[i].PhantomRequests
+		out.ResolvedHits += shards[i].ResolvedHits
+	}
+	return out
+}
+
+// shardFillCursors turns staged per-shard per-directory counts
+// (counts[shard*nd+d]) into arena fill cursors, in place: after the call
+// counts[shard*nd+d] is the arena index where that shard writes its
+// first record for directory d, spans ordered directory-major then shard
+// — so concatenation reproduces plan order exactly. dirOffs (len nd+1)
+// receives each directory's [dirOffs[d], dirOffs[d+1]) arena span; the
+// return value is the total record count.
+//
+//torhs:hotpath
+func shardFillCursors(counts, dirOffs []int32, shards, nd int) int32 {
+	pos := int32(0)
+	for d := 0; d < nd; d++ {
+		dirOffs[d] = pos
+		for s := 0; s < shards; s++ {
+			c := counts[s*nd+d]
+			counts[s*nd+d] = pos
+			pos += c
+		}
+	}
+	dirOffs[nd] = pos
+	return pos
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -53,11 +54,13 @@ func driveOnce(t *testing.T, seed int64, workers int) (TrafficStats, []FetchEven
 // drive (sequential plan, concurrent fetch, ordered replay) delivers the
 // same stats and the same observer event stream at every worker count.
 func TestDriveWindowIdenticalAcrossWorkerCounts(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
 	baseStats, baseEvents := driveOnce(t, 21, 1)
 	if baseStats.TotalRequests == 0 {
 		t.Fatal("no traffic driven")
 	}
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 3, 4, 8} {
 		stats, events := driveOnce(t, 21, workers)
 		if stats != baseStats {
 			t.Fatalf("stats differ at workers=%d: %+v vs %+v", workers, stats, baseStats)
