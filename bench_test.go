@@ -5,6 +5,7 @@ package torhs
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"sync"
@@ -55,7 +56,7 @@ func benchSetup(b *testing.B) *benchEnv {
 	envOnce.Do(func() {
 		popCfg := hspop.PaperConfig(1)
 		popCfg.Scale = 0.05
-		pop, err := hspop.Generate(popCfg)
+		pop, err := hspop.Generate(context.Background(), popCfg)
 		if err != nil {
 			panic(err)
 		}
@@ -286,7 +287,7 @@ func BenchmarkFig3Deanon(b *testing.B) {
 		}
 		now := doc.ValidAfter
 		net.PublishAll(e.pop, now)
-		rep, err := deanon.Run(net, e.pop, e.pop.Services[0], now, deanon.DefaultConfig(int64(i)))
+		rep, err := deanon.Run(context.Background(), net, e.pop, e.pop.Services[0], now, deanon.DefaultConfig(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +309,7 @@ func BenchmarkTrackingDetection(b *testing.B) {
 	to := from.Add(365 * 24 * time.Hour)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := an.Analyze(e.scenario.History, e.scenario.Target, from, to)
+		rep, err := an.Analyze(context.Background(), e.scenario.History, e.scenario.Target, from, to)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -399,7 +400,7 @@ func BenchmarkFullStudy(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				_, err = experiments.Paper().RunStudy(env, experiments.RunOptions{
+				_, err = experiments.Paper().RunStudy(context.Background(), env, experiments.RunOptions{
 					Scenario:        "bench",
 					Store:           store,
 					CheckpointEvery: bc.every,
@@ -438,7 +439,7 @@ func BenchmarkTrawlHarvest(b *testing.B) {
 		}
 		start := fleet.Start.Add(48 * time.Hour)
 		tr.Deploy(sim, start)
-		h, err := tr.Run(sim, e.pop, e.geoDB, start)
+		h, err := tr.Run(context.Background(), sim, e.pop, e.geoDB, start)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -474,7 +475,7 @@ func BenchmarkDriveWindow(b *testing.B) {
 	net.PublishAll(e.pop, now)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st := net.DriveWindow(e.pop, now, 2*time.Hour, nil)
+		st, _ := net.DriveWindow(context.Background(), e.pop, now, 2*time.Hour, nil)
 		if st.TotalRequests == 0 {
 			b.Fatal("no traffic driven")
 		}
@@ -523,7 +524,7 @@ func BenchmarkTrackingNoDistanceRule(b *testing.B) {
 	to := from.Add(365 * 24 * time.Hour)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := an.Analyze(e.scenario.History, e.scenario.Target, from, to); err != nil {
+		if _, err := an.Analyze(context.Background(), e.scenario.History, e.scenario.Target, from, to); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"torhs/internal/experiments"
+	"torhs/internal/jobs"
+	"torhs/internal/resultstore"
+	"torhs/internal/scenario"
+)
+
+// The drain e2e: a real hsserve process is SIGTERM'd mid-study and must
+// flip /readyz to 503 while the listener still answers, cancel the
+// study (which flushes its window checkpoints into the store), drain,
+// and exit 0 — and a second hsserve over the same store must resume the
+// re-POSTed study to bytes identical to an uninterrupted in-process
+// run. The re-exec pattern matches the crash matrix: the child is this
+// test binary re-run into TestHSServeDrainChild, so the signal lands on
+// a genuine process with a genuine signal handler.
+
+const (
+	serveChildEnv = "TORHS_HSSERVE_CHILD"
+	serveStoreEnv = "TORHS_HSSERVE_STORE"
+)
+
+// TestHSServeDrainChild is the re-exec entry point, inert unless the
+// parent set the child environment.
+func TestHSServeDrainChild(t *testing.T) {
+	if os.Getenv(serveChildEnv) == "" {
+		t.Skip("re-exec child of TestDrainCheckpointsAndResumes")
+	}
+	err := run([]string{
+		"-store", os.Getenv(serveStoreEnv),
+		"-addr", "127.0.0.1:0",
+		"-grace", "60s",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("child hsserve: %v", err)
+	}
+}
+
+// serveChild is one re-exec'd hsserve process.
+type serveChild struct {
+	cmd     *exec.Cmd
+	base    string        // http://127.0.0.1:PORT
+	out     *bytes.Buffer // stdout after the address line
+	exited  chan struct{} // closed once the child is reaped
+	waitErr error         // cmd.Wait result, valid after exited closes
+}
+
+// startServeChild re-execs hsserve over storeDir and waits for its
+// listen address.
+func startServeChild(t *testing.T, storeDir string) *serveChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHSServeDrainChild$", "-test.count=1", "-test.v")
+	cmd.Env = append(os.Environ(), serveChildEnv+"=1", serveStoreEnv+"="+storeDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := &serveChild{cmd: cmd, out: &bytes.Buffer{}, exited: make(chan struct{})}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-c.exited
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			line := scanner.Text()
+			if i := strings.LastIndex(line, " on 127.0.0.1:"); i >= 0 && len(addr) == 0 {
+				addr <- strings.TrimSpace(line[i+len(" on "):])
+				continue
+			}
+			fmt.Fprintln(c.out, line)
+		}
+		c.waitErr = cmd.Wait()
+		close(c.exited)
+	}()
+	select {
+	case a := <-addr:
+		c.base = "http://" + a
+	case <-time.After(30 * time.Second):
+		t.Fatal("child hsserve never printed its listen address")
+	}
+	return c
+}
+
+func postSubmit(t *testing.T, base string, req jobs.SubmitRequest) jobs.SubmitResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/studies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /studies = %d: %s", resp.StatusCode, raw)
+	}
+	var sub jobs.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func getStatus(t *testing.T, base, id string) (jobs.Status, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/studies/" + id)
+	if err != nil {
+		return jobs.Status{}, false
+	}
+	defer resp.Body.Close()
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return jobs.Status{}, false
+	}
+	return st, true
+}
+
+func TestDrainCheckpointsAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec drain e2e is not short")
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+	if err := os.MkdirAll(storeDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	study := jobs.SubmitRequest{
+		Scenario:    scenario.Smoke,
+		Seed:        99,
+		Experiments: []string{experiments.ExpPopularity},
+	}
+
+	// First server: submit, wait for the study's first checkpoint to
+	// land, then SIGTERM mid-study.
+	c1 := startServeChild(t, storeDir)
+	if resp, err := http.Get(c1.base + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain readyz: resp=%v err=%v", resp, err)
+	}
+	sub := postSubmit(t, c1.base, study)
+	checkpointGlob := filepath.Join(storeDir, "checkpoints", "*", "*.ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if m, _ := filepath.Glob(checkpointGlob); len(m) > 0 {
+			break
+		}
+		if st, ok := getStatus(t, c1.base, sub.ID); ok && st.State.Terminal() {
+			t.Fatalf("study reached %q before any checkpoint landed", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared while the study ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := c1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The drain contract: readiness flips to 503 while the listener is
+	// still answering, before it closes. Early 200s are an acceptable
+	// race with the signal handler; going straight from 200 to a dead
+	// listener is not.
+	saw503 := false
+	for !saw503 {
+		resp, err := http.Get(c1.base + "/readyz")
+		if err != nil {
+			t.Fatal("listener closed before /readyz ever served 503")
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			time.Sleep(time.Millisecond)
+		case http.StatusServiceUnavailable:
+			saw503 = true
+		default:
+			t.Fatalf("draining readyz = %d, want 200 or 503", resp.StatusCode)
+		}
+	}
+	select {
+	case <-c1.exited:
+		if c1.waitErr != nil {
+			t.Fatalf("drained child exited with %v\n%s", c1.waitErr, c1.out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("child did not exit after SIGTERM")
+	}
+	if !strings.Contains(c1.out.String(), "hsserve: drained; exiting") {
+		t.Fatalf("child output missing clean-drain line:\n%s", c1.out.String())
+	}
+
+	// The cancelled study must have left its checkpoints behind (it
+	// never completed, so nothing cleared them) and published no
+	// document for the interrupted experiment.
+	if m, _ := filepath.Glob(checkpointGlob); len(m) == 0 {
+		t.Fatal("no checkpoint survived the drain")
+	}
+	store, err := resultstore.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Key.Experiment == experiments.ExpPopularity {
+			t.Fatal("cancelled study published a document for the interrupted experiment")
+		}
+	}
+
+	// Second server over the same store: the identical POST resumes
+	// from the checkpoint and completes.
+	c2 := startServeChild(t, storeDir)
+	sub2 := postSubmit(t, c2.base, study)
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		st, ok := getStatus(t, c2.base, sub2.ID)
+		if ok && st.State == jobs.StateDone {
+			break
+		}
+		if ok && st.State.Terminal() {
+			t.Fatalf("resumed study ended %q (%s), want done", st.State, st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resumed study never completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(c2.base + "/report/smoke/" + experiments.ExpPopularity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report = %d err=%v", resp.StatusCode, err)
+	}
+
+	// Reference: the same study uninterrupted, in-process, into a
+	// scratch store. The resumed server must serve identical bytes.
+	refStore, err := resultstore.Open(filepath.Join(t.TempDir(), "ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := experiments.NewEnv(experiments.ConfigFromSpec(scenario.MustLookup(scenario.Smoke), 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := experiments.Paper().RunStudy(context.Background(), env, experiments.RunOptions{
+		Names: study.Experiments, Scenario: scenario.Smoke, Store: refStore,
+	}, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want.Bytes()) {
+		t.Fatalf("resumed report diverged from uninterrupted run (%d vs %d bytes)",
+			len(served), want.Len())
+	}
+
+	if err := c2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c2.exited:
+		if c2.waitErr != nil {
+			t.Fatalf("idle child exited with %v\n%s", c2.waitErr, c2.out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("idle child did not exit after SIGTERM")
+	}
+}

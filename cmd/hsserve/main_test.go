@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func TestServedBytesMatchStudyOutput(t *testing.T) {
 	}
 	var study bytes.Buffer
 	names := []string{experiments.ExpPrefixAudit, experiments.ExpTracking}
-	if _, err := experiments.Paper().RunStudy(env, experiments.RunOptions{
+	if _, err := experiments.Paper().RunStudy(context.Background(), env, experiments.RunOptions{
 		Names: names, Scenario: scenario.Smoke, Store: store,
 	}, &study); err != nil {
 		t.Fatal(err)

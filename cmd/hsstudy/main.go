@@ -41,14 +41,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"torhs/internal/cli"
 	"torhs/internal/experiments"
@@ -177,7 +180,13 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := reg.RunStudy(env, experiments.RunOptions{
+	// SIGINT/SIGTERM cancels the run context: the kernels flush their
+	// latest window checkpoint into the -out store (when the checkpoint
+	// plane is armed) and the study returns context.Canceled, which maps
+	// to the shell's interrupt exit code 130 below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := reg.RunStudy(ctx, env, experiments.RunOptions{
 		Names:           parseSelector(*selector),
 		Format:          *format,
 		Scenario:        scenarioLabel,
@@ -186,6 +195,14 @@ func run(args []string, w io.Writer) error {
 		CheckpointEvery: *ckptN,
 		Resume:          *resume,
 	}, w)
+	if errors.Is(err, context.Canceled) {
+		if *ckptN > 0 {
+			fmt.Fprintln(os.Stderr, "hsstudy: interrupted; checkpoints flushed — resume with the same flags plus -resume")
+		} else {
+			fmt.Fprintln(os.Stderr, "hsstudy: interrupted")
+		}
+		return &cli.ExitError{Code: 130, Err: err}
+	}
 	if err != nil {
 		return err
 	}

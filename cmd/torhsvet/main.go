@@ -1,7 +1,8 @@
 // Command torhsvet runs torhs's static-analysis suite (see
 // internal/analysis): detorder, detrand, hotalloc, cachekey, faultsite,
-// and shardmerge — the compile-time proofs of the determinism, hot-path,
-// cache-key, fault-site-registry, and shard-merge-order contracts.
+// shardmerge, and ctxflow — the compile-time proofs of the determinism,
+// hot-path, cache-key, fault-site-registry, shard-merge-order, and
+// cancellation-plumbing contracts.
 //
 // Standalone (the CI entry point; exits 0 only when every package is
 // clean):

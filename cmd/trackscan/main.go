@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -83,7 +84,7 @@ func runDemo(w io.Writer, seed int64, spec scenario.Spec, saveDir, csvPath strin
 	if err != nil {
 		return err
 	}
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, sc.Start.Add(3650*24*time.Hour))
+	rep, err := an.Analyze(context.Background(), sc.History, sc.Target, sc.Start, sc.Start.Add(3650*24*time.Hour))
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func runArchive(w io.Writer, dir, target, fromStr, toStr, csvPath string) error 
 	if err != nil {
 		return err
 	}
-	rep, err := an.Analyze(h, permID, from, to)
+	rep, err := an.Analyze(context.Background(), h, permID, from, to)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,7 +57,7 @@ func run(args []string, w io.Writer) error {
 
 	popCfg := hspop.PaperConfig(*seed)
 	popCfg.Scale = *scale
-	pop, err := hspop.Generate(popCfg)
+	pop, err := hspop.Generate(context.Background(), popCfg)
 	if err != nil {
 		return err
 	}
@@ -75,7 +76,7 @@ func run(args []string, w io.Writer) error {
 	start := fleet.Start.Add(48 * time.Hour)
 	tr.Deploy(sim, start)
 
-	harvest, err := tr.Run(sim, pop, db, start)
+	harvest, err := tr.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -37,11 +38,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	pop, err := env.Population()
+	pop, err := env.Population(context.Background())
 	if err != nil {
 		return err
 	}
-	fabric, err := env.Fabric()
+	fabric, err := env.Fabric(context.Background())
 	if err != nil {
 		return err
 	}

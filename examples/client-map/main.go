@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -45,7 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	pop, err := env.Population()
+	pop, err := env.Population(context.Background())
 	if err != nil {
 		return err
 	}
@@ -61,7 +62,7 @@ func run() error {
 
 	target := pop.Services[0] // the rank-1 Goldnet C&C front
 	cfg := deanon.Config{GuardControlFraction: 0.15, Window: 2 * time.Hour, Seed: seed}
-	rep, err := deanon.Run(net, pop, target, now, cfg)
+	rep, err := deanon.Run(context.Background(), net, pop, target, now, cfg)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -47,7 +48,7 @@ func run() error {
 	// HSDir count grows across the window, so μ+3σ must be recomputed
 	// per slice).
 	end := sc.Start.Add(time.Duration(cfg.Days-1) * 24 * time.Hour)
-	reports, err := an.AnalyzeSlices(sc.History, sc.Target, sc.Start, end, 3)
+	reports, err := an.AnalyzeSlices(context.Background(), sc.History, sc.Target, sc.Start, end, 3)
 	if err != nil {
 		return err
 	}

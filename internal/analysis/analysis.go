@@ -96,7 +96,7 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite, ShardMerge}
+	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite, ShardMerge, CtxFlow}
 }
 
 // byName resolves an analyzer name; used to validate ignore directives.

@@ -26,6 +26,11 @@ import (
 //	                                     named shard-slice parameter and
 //	                                     must visit it in ascending index
 //	                                     order
+//	//torhs:cancelpoint                  (func doc) the function is a
+//	                                     kernel cancellation boundary: it
+//	                                     takes a context and must check
+//	                                     ctx.Err()/ctx.Done() inside its
+//	                                     outermost loop
 const (
 	dirIgnore           = "ignore"
 	dirHotPath          = "hotpath"
@@ -33,6 +38,7 @@ const (
 	dirOrderInsensitive = "orderinsensitive"
 	dirFaultSite        = "faultsite"
 	dirShardMerge       = "shardmerge"
+	dirCancelPoint      = "cancelpoint"
 )
 
 // directivePrefix introduces every torhs directive comment.
@@ -102,9 +108,10 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, [
 					continue
 				}
 				switch d.kind {
-				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite, dirShardMerge:
+				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite, dirShardMerge, dirCancelPoint:
 					// Positional; consumed by hotalloc / cachekey /
-					// detorder / faultsite / shardmerge respectively.
+					// detorder / faultsite / shardmerge / ctxflow
+					// respectively.
 				case dirIgnore:
 					analyzer, reason, _ := strings.Cut(d.args, " ")
 					reason = strings.TrimSpace(reason)

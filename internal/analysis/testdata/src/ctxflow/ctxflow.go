@@ -1,0 +1,117 @@
+// Package ctxfixture is the ctxflow golden fixture. The analyzer is
+// module-wide for the parameter-order and struct-field rules, and
+// annotation-driven for the //torhs:cancelpoint loop-check rule.
+package ctxfixture
+
+import (
+	"context"
+	"time"
+)
+
+// DriveFirst has its context first: clean.
+func DriveFirst(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// DriveLast buries the context behind the payload.
+func DriveLast(n int, ctx context.Context) int { // want "context.Context must be the first parameter"
+	_ = ctx
+	return n
+}
+
+// litLast is a function literal with a trailing context.
+var litLast = func(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = ctx
+}
+
+// Runner follows the interface convention.
+type Runner interface {
+	Run(ctx context.Context, name string) error
+	RunLate(name string, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+// job smuggles a context into its state, outliving the call tree that
+// created it.
+type job struct {
+	name string
+	ctx  context.Context // want "must not be stored in a struct field"
+}
+
+// KernelChecked is a compliant cancellation boundary: the outermost loop
+// checks ctx.Err() every iteration.
+//
+//torhs:cancelpoint
+func KernelChecked(ctx context.Context, windows int) (int, error) {
+	done := 0
+	for w := 0; w < windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+// KernelSelect checks through Done inside a select: equally valid.
+//
+//torhs:cancelpoint
+func KernelSelect(ctx context.Context, windows int) int {
+	done := 0
+	for w := 0; w < windows; w++ {
+		select {
+		case <-ctx.Done():
+			return done
+		case <-time.After(time.Millisecond):
+			done++
+		}
+	}
+	return done
+}
+
+// KernelUnchecked takes a context but runs its loop to completion — a
+// cancelled run would never stop at a window boundary.
+//
+//torhs:cancelpoint
+func KernelUnchecked(ctx context.Context, windows int) int { // want "never checks ctx.Err"
+	done := 0
+	for w := 0; w < windows; w++ {
+		done++
+	}
+	return done
+}
+
+// KernelInnerOnly only checks inside a nested function literal, which
+// the kernel's own loop never awaits.
+//
+//torhs:cancelpoint
+func KernelInnerOnly(ctx context.Context, windows int) int { // want "never checks ctx.Err"
+	done := 0
+	for w := 0; w < windows; w++ {
+		f := func() error { return ctx.Err() }
+		_ = f
+		done++
+	}
+	return done
+}
+
+// KernelNoCtx is annotated but has nothing to check.
+//
+//torhs:cancelpoint
+func KernelNoCtx(windows int) int { // want "no context.Context parameter"
+	done := 0
+	for w := 0; w < windows; w++ {
+		done++
+	}
+	return done
+}
+
+// KernelNoLoop has no loop to anchor the check.
+//
+//torhs:cancelpoint
+func KernelNoLoop(ctx context.Context) error { // want "no loop to anchor"
+	return ctx.Err()
+}

@@ -1,0 +1,8 @@
+// Package ctxfixturebad holds a misplaced cancelpoint directive. The
+// diagnostic lands on the directive comment's own line, which a trailing
+// `// want` comment cannot share, so TestCtxFlowMisplaced checks this
+// fixture by hand instead of through the golden harness.
+package ctxfixturebad
+
+//torhs:cancelpoint
+var Misplaced = 0

@@ -21,6 +21,25 @@ import (
 // to stderr; Main exits 1 without printing it again.
 var ErrUsage = errors.New("usage")
 
+// ExitError carries an explicit process exit code through the run
+// function. Main unwraps it: a wrapped error still prints with the
+// command-name prefix, then the process exits with Code instead of 1.
+// The interrupt convention (SIGINT cancels the run) uses 130, the
+// shell's 128+SIGINT.
+type ExitError struct {
+	Code int
+	Err  error
+}
+
+func (e *ExitError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("exit %d", e.Code)
+	}
+	return e.Err.Error()
+}
+
+func (e *ExitError) Unwrap() error { return e.Err }
+
 // Main runs run(os.Args[1:], os.Stdout), prefixing errors with the
 // command name. Usage errors stay silent (the FlagSet printed the
 // diagnostics during Parse) and exit 2, matching flag.ExitOnError's
@@ -32,6 +51,10 @@ func Main(name string, run func(args []string, w io.Writer) error) {
 			os.Exit(2)
 		}
 		fmt.Fprintln(os.Stderr, name+":", err)
+		var xe *ExitError
+		if errors.As(err, &xe) {
+			os.Exit(xe.Code)
+		}
 		os.Exit(1)
 	}
 }

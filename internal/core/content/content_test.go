@@ -1,6 +1,7 @@
 package content
 
 import (
+	"context"
 	"testing"
 
 	"torhs/internal/core/scan"
@@ -12,7 +13,7 @@ import (
 
 func runPipeline(t *testing.T, seed int64) (*Crawler, *Result) {
 	t.Helper()
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func runPipeline(t *testing.T, seed int64) (*Crawler, *Result) {
 }
 
 func TestNewValidation(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(1))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package content
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -15,7 +16,7 @@ import (
 // exactly what the sequential crawl does — including the duplicate-443
 // exclusions, which require shard cuts on address boundaries.
 func TestCrawlIdenticalAcrossWorkerCounts(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(13))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(13))
 	if err != nil {
 		t.Fatal(err)
 	}

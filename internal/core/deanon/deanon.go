@@ -8,6 +8,7 @@
 package deanon
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -64,8 +65,11 @@ type Report struct {
 }
 
 // Run executes the campaign on an already-published network, driving one
-// measurement window of traffic.
+// measurement window of traffic. Cancellation propagates into the
+// window drive; a cancelled campaign abandons the whole window (no
+// partial report) and returns ctx.Err().
 func Run(
+	ctx context.Context,
 	net *simnet.Network,
 	pop *hspop.Population,
 	target *hspop.Service,
@@ -107,7 +111,9 @@ func Run(
 	if cfg.CellLevel {
 		attack.EnableCellLevel(cfg.Seed)
 	}
-	net.DriveWindow(pop, start, cfg.Window, attack.Observe)
+	if _, err := net.DriveWindow(ctx, pop, start, cfg.Window, attack.Observe); err != nil {
+		return nil, err
+	}
 
 	rep := &Report{
 		Target:           target.Address,

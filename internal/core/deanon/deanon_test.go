@@ -1,6 +1,7 @@
 package deanon
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -33,7 +34,7 @@ func setup(t *testing.T, seed int64) (*simnet.Network, *hspop.Population, time.T
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,12 +47,12 @@ func TestRunValidation(t *testing.T) {
 	net, pop, now := setup(t, 1)
 	cfg := DefaultConfig(1)
 	cfg.GuardControlFraction = 0
-	if _, err := Run(net, pop, pop.Services[0], now, cfg); err == nil {
+	if _, err := Run(context.Background(), net, pop, pop.Services[0], now, cfg); err == nil {
 		t.Fatal("zero guard fraction accepted")
 	}
 	cfg = DefaultConfig(1)
 	cfg.Window = 0
-	if _, err := Run(net, pop, pop.Services[0], now, cfg); err == nil {
+	if _, err := Run(context.Background(), net, pop, pop.Services[0], now, cfg); err == nil {
 		t.Fatal("zero window accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestCampaignAgainstGoldnet(t *testing.T) {
 
 	cfg := DefaultConfig(2)
 	cfg.GuardControlFraction = 0.25
-	rep, err := Run(net, pop, target, now, cfg)
+	rep, err := Run(context.Background(), net, pop, target, now, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func TestCampaignAgainstGoldnet(t *testing.T) {
 
 func TestDetectionRateScalesWithGuardControl(t *testing.T) {
 	netLow, popLow, nowLow := setup(t, 3)
-	low, err := Run(netLow, popLow, popLow.Services[0], nowLow, Config{
+	low, err := Run(context.Background(), netLow, popLow, popLow.Services[0], nowLow, Config{
 		GuardControlFraction: 0.05, Window: 2 * time.Hour, Seed: 3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	netHigh, popHigh, nowHigh := setup(t, 3)
-	high, err := Run(netHigh, popHigh, popHigh.Services[0], nowHigh, Config{
+	high, err := Run(context.Background(), netHigh, popHigh, popHigh.Services[0], nowHigh, Config{
 		GuardControlFraction: 0.5, Window: 2 * time.Hour, Seed: 3,
 	})
 	if err != nil {
@@ -122,14 +123,14 @@ func TestDetectionRateScalesWithGuardControl(t *testing.T) {
 
 func TestCellLevelCampaignMatchesBooleanMode(t *testing.T) {
 	netA, popA, nowA := setup(t, 30)
-	plain, err := Run(netA, popA, popA.Services[0], nowA, Config{
+	plain, err := Run(context.Background(), netA, popA, popA.Services[0], nowA, Config{
 		GuardControlFraction: 0.3, Window: 2 * time.Hour, Seed: 30,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	netB, popB, nowB := setup(t, 30)
-	cell, err := Run(netB, popB, popB.Services[0], nowB, Config{
+	cell, err := Run(context.Background(), netB, popB, popB.Services[0], nowB, Config{
 		GuardControlFraction: 0.3, Window: 2 * time.Hour, Seed: 30, CellLevel: true,
 	})
 	if err != nil {
@@ -163,7 +164,7 @@ func TestUnpopularTargetYieldsNothing(t *testing.T) {
 	if dark == nil {
 		t.Fatal("no dark service")
 	}
-	rep, err := Run(net, pop, dark, now, DefaultConfig(4))
+	rep, err := Run(context.Background(), net, pop, dark, now, DefaultConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}

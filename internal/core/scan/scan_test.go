@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func setupScan(t *testing.T, seed int64) (*Scanner, *hspop.Population, []onion.Address) {
 	t.Helper()
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func setupScan(t *testing.T, seed int64) (*Scanner, *hspop.Population, []onion.A
 }
 
 func TestNewValidation(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(1))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -14,7 +15,7 @@ import (
 // pure function of (seed, addresses): every worker count produces the
 // same campaign result.
 func TestScanAllIdenticalAcrossWorkerCounts(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(11))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(11))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -42,14 +43,22 @@ func trackingCkptSet(t *testing.T) *resultstore.CheckpointSet {
 	return c
 }
 
+// ctxSet adapts the raw store CheckpointSet to the ctx-aware tracking
+// Checkpointer, the way the experiments layer's retry wrapper does in
+// production; the storage API itself stays context-free.
+type ctxSet struct{ set *resultstore.CheckpointSet }
+
+func (c ctxSet) Save(_ context.Context, w int, s any) error         { return c.set.Save(w, s) }
+func (c ctxSet) Latest(_ context.Context, s any) (int, bool, error) { return c.set.Latest(s) }
+
 func TestTrackingCheckpointedMatchesPlain(t *testing.T) {
 	sc, an, from, to := ckptScenario(t)
-	ref, err := an.Analyze(sc.History, sc.Target, from, to)
+	ref, err := an.Analyze(context.Background(), sc.History, sc.Target, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
 	set := trackingCkptSet(t)
-	got, err := an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 10, false)
+	got, err := an.AnalyzeCheckpointed(context.Background(), sc.History, sc.Target, from, to, ctxSet{set}, 10, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +69,7 @@ func TestTrackingCheckpointedMatchesPlain(t *testing.T) {
 
 func TestTrackingCrashResumeByteIdentical(t *testing.T) {
 	sc, an, from, to := ckptScenario(t)
-	ref, err := an.Analyze(sc.History, sc.Target, from, to)
+	ref, err := an.Analyze(context.Background(), sc.History, sc.Target, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,12 +88,12 @@ func TestTrackingCrashResumeByteIdentical(t *testing.T) {
 				t.Fatal("analysis did not crash at the window site")
 			}
 		}()
-		an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 7, false)
+		an.AnalyzeCheckpointed(context.Background(), sc.History, sc.Target, from, to, ctxSet{set}, 7, false)
 	}()
 	fault.Install(prev)
 
 	// "Process two": resume; the report must match bit for bit.
-	got, err := an.AnalyzeCheckpointed(sc.History, sc.Target, from, to, set, 7, true)
+	got, err := an.AnalyzeCheckpointed(context.Background(), sc.History, sc.Target, from, to, ctxSet{set}, 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +111,7 @@ func TestTrackingWindowFaultIsTransient(t *testing.T) {
 	prev := fault.Active()
 	fault.Install(in)
 	t.Cleanup(func() { fault.Install(prev) })
-	_, err := an.Analyze(sc.History, sc.Target, from, to)
+	_, err := an.Analyze(context.Background(), sc.History, sc.Target, from, to)
 	if err == nil {
 		t.Fatal("analysis under an armed window fault succeeded")
 	}

@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -11,7 +12,7 @@ func analyzeWith(t *testing.T, sc *Scenario, cfg Config) *Report {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, sc.Start.Add(200*24*time.Hour))
+	rep, err := an.Analyze(context.Background(), sc.History, sc.Target, sc.Start, sc.Start.Add(200*24*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}

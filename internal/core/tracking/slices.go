@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,7 @@ func MineFingerprint(descID onion.DescriptorID, ringSize uint64, targetRatio flo
 // year by year, because the HSDir count (and hence the binomial μ+3σ
 // threshold) changes over time.
 func (a *Analyzer) AnalyzeSlices(
+	ctx context.Context,
 	h *consensus.History,
 	target onion.PermanentID,
 	from, to time.Time,
@@ -55,7 +57,7 @@ func (a *Analyzer) AnalyzeSlices(
 		if i == n-1 {
 			sliceTo = to
 		}
-		rep, err := a.Analyze(h, target, sliceFrom, sliceTo)
+		rep, err := a.Analyze(ctx, h, target, sliceFrom, sliceTo)
 		if err != nil {
 			return nil, fmt.Errorf("tracking: slice %d: %w", i, err)
 		}

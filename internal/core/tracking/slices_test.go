@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -74,10 +75,10 @@ func TestAnalyzeSlicesValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	end := sc.Start.Add(119 * 24 * time.Hour)
-	if _, err := an.AnalyzeSlices(sc.History, sc.Target, sc.Start, end, 0); err == nil {
+	if _, err := an.AnalyzeSlices(context.Background(), sc.History, sc.Target, sc.Start, end, 0); err == nil {
 		t.Fatal("zero slices accepted")
 	}
-	if _, err := an.AnalyzeSlices(sc.History, sc.Target, end, sc.Start, 2); err == nil {
+	if _, err := an.AnalyzeSlices(context.Background(), sc.History, sc.Target, end, sc.Start, 2); err == nil {
 		t.Fatal("inverted window accepted")
 	}
 }
@@ -92,7 +93,7 @@ func TestAnalyzeSlicesCoverWholeWindowDisjointly(t *testing.T) {
 		t.Fatal(err)
 	}
 	end := sc.Start.Add(119 * 24 * time.Hour)
-	reports, err := an.AnalyzeSlices(sc.History, sc.Target, sc.Start, end, 3)
+	reports, err := an.AnalyzeSlices(context.Background(), sc.History, sc.Target, sc.Start, end, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, sc.Start.Add(120*24*time.Hour))
+	rep, err := an.Analyze(context.Background(), sc.History, sc.Target, sc.Start, sc.Start.Add(120*24*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestSliceThresholdsTrackRingGrowth(t *testing.T) {
 		t.Fatal(err)
 	}
 	end := sc.Start.Add(119 * 24 * time.Hour)
-	reports, err := an.AnalyzeSlices(sc.History, sc.Target, sc.Start, end, 3)
+	reports, err := an.AnalyzeSlices(context.Background(), sc.History, sc.Target, sc.Start, end, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

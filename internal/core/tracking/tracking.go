@@ -15,6 +15,7 @@
 package tracking
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,10 +33,12 @@ import (
 // Checkpointer persists per-window sweep snapshots so a killed analysis
 // resumes from its last folded consensus document. The contract matches
 // resultstore.CheckpointSet; the interface keeps tracking below the
-// store in the import graph.
+// store in the import graph. The context is per call — implementations
+// must not retain it — and the cancellation flush passes an
+// uncancellable context so the final snapshot always lands.
 type Checkpointer interface {
-	Save(window int, state any) error
-	Latest(state any) (window int, ok bool, err error)
+	Save(ctx context.Context, window int, state any) error
+	Latest(ctx context.Context, state any) (window int, ok bool, err error)
 }
 
 // Config parameterises the detector; defaults follow the paper.
@@ -348,8 +351,8 @@ func sortedWithFirst(first string, extra []string) []string {
 
 // Analyze sweeps the history window [from, to] and scores every relay
 // that was ever responsible for the target.
-func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from, to time.Time) (*Report, error) {
-	return a.AnalyzeCheckpointed(h, target, from, to, nil, 0, false)
+func (a *Analyzer) Analyze(ctx context.Context, h *consensus.History, target onion.PermanentID, from, to time.Time) (*Report, error) {
+	return a.AnalyzeCheckpointed(ctx, h, target, from, to, nil, 0, false)
 }
 
 // AnalyzeCheckpointed is Analyze with window-level crash safety: when
@@ -360,7 +363,16 @@ func (a *Analyzer) Analyze(h *consensus.History, target onion.PermanentID, from,
 // sweep is a pure left fold over documents in ValidAfter order, and the
 // wrap-up sorts by a total order, so restored accumulator state is
 // indistinguishable from locally-computed state.
+//
+// The document is the cancellation unit: ctx is observed before every
+// fold. A cancelled checkpointed sweep flushes a snapshot of its folded
+// prefix before returning ctx.Err(), so a deliberate stop loses no
+// completed documents and a resume is byte-identical to an
+// uninterrupted analysis.
+//
+//torhs:cancelpoint
 func (a *Analyzer) AnalyzeCheckpointed(
+	ctx context.Context,
 	h *consensus.History,
 	target onion.PermanentID,
 	from, to time.Time,
@@ -380,7 +392,7 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	// stay sequential — their snapshots are per-document prefixes.
 	if ckpt == nil {
 		if shards := parallel.NumChunks(a.cfg.Workers, len(docs)); shards > 1 {
-			sw, err := a.sweepSharded(docs, target, shards)
+			sw, err := a.sweepSharded(ctx, docs, target, shards)
 			if err != nil {
 				return nil, err
 			}
@@ -398,7 +410,7 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	start := 0
 	if resume && ckpt != nil {
 		var snap sweepSnapshot
-		w, ok, err := ckpt.Latest(&snap)
+		w, ok, err := ckpt.Latest(ctx, &snap)
 		if err != nil {
 			return nil, fmt.Errorf("tracking: resume: %w", err)
 		}
@@ -414,7 +426,21 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	if every <= 0 {
 		every = 1
 	}
+	// lastSaved is the newest document index already snapshotted (the
+	// restored prefix on resume, nothing otherwise); the cancellation
+	// flush only writes when the fold advanced past it.
+	lastSaved := start - 1
 	for i := start; i < len(docs); i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if ckpt != nil && i-1 > lastSaved {
+				// The run is already cancelled; the flush must still
+				// land, so it keeps ctx's values but not its cancel.
+				if err := ckpt.Save(context.WithoutCancel(ctx), i-1, sw.snapshot(i)); err != nil {
+					return nil, fmt.Errorf("tracking: window %d: cancel flush: %w", i-1, err)
+				}
+			}
+			return nil, cerr
+		}
 		// The document boundary is the tracking fault site: everything
 		// before it is snapshotted (or cheap to refold).
 		if err := fault.Hit(fault.SiteTrackingWindow); err != nil {
@@ -425,9 +451,10 @@ func (a *Analyzer) AnalyzeCheckpointed(
 		// snapshotted — the report follows immediately and the caller
 		// clears the set on success.
 		if ckpt != nil && i < len(docs)-1 && (i+1)%every == 0 {
-			if err := ckpt.Save(i, sw.snapshot(i+1)); err != nil {
+			if err := ckpt.Save(ctx, i, sw.snapshot(i+1)); err != nil {
 				return nil, fmt.Errorf("tracking: window %d: checkpoint: %w", i, err)
 			}
+			lastSaved = i
 		}
 	}
 	return a.report(&sw, docs), nil
@@ -435,10 +462,12 @@ func (a *Analyzer) AnalyzeCheckpointed(
 
 // sweepSharded folds docs through per-shard private sweeps over
 // contiguous document ranges and merges them in shard order. The fault
-// site still fires once per document; when several shards trip it, the
-// error of the lowest document index wins — the one the sequential sweep
-// would have hit first.
-func (a *Analyzer) sweepSharded(docs []*consensus.Document, target onion.PermanentID, shards int) (*sweep, error) {
+// site still fires once per document, and every shard observes ctx at
+// its document boundaries; when several shards trip either, the error
+// of the lowest document index wins — the one the sequential sweep
+// would have hit first (cancellation surfaces as ctx.Err() whichever
+// shard noticed it, so the report is deterministic).
+func (a *Analyzer) sweepSharded(ctx context.Context, docs []*consensus.Document, target onion.PermanentID, shards int) (*sweep, error) {
 	sweeps := make([]sweep, shards)
 	type shardFail struct {
 		doc int
@@ -450,6 +479,10 @@ func (a *Analyzer) sweepSharded(docs []*consensus.Document, target onion.Permane
 		sw.a = a
 		sw.respBuf = make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
 		for i := lo; i < hi; i++ {
+			if cerr := ctx.Err(); cerr != nil {
+				fails[shard] = shardFail{doc: i, err: cerr}
+				return
+			}
 			if err := fault.Hit(fault.SiteTrackingWindow); err != nil {
 				fails[shard] = shardFail{doc: i, err: fmt.Errorf("tracking: window %d: %w", i, err)}
 				return

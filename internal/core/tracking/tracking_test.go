@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -51,7 +52,7 @@ func buildAndAnalyze(t *testing.T, seed int64) (*Scenario, *Report) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := an.Analyze(sc.History, sc.Target, sc.Start, sc.Start.Add(200*24*time.Hour))
+	rep, err := an.Analyze(context.Background(), sc.History, sc.Target, sc.Start, sc.Start.Add(200*24*time.Hour))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAnalyzeEmptyWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := sc.Start.Add(-100 * 24 * time.Hour)
-	if _, err := an.Analyze(sc.History, sc.Target, before, before.Add(24*time.Hour)); err == nil {
+	if _, err := an.Analyze(context.Background(), sc.History, sc.Target, before, before.Add(24*time.Hour)); err == nil {
 		t.Fatal("empty window accepted")
 	}
 }

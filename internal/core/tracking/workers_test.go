@@ -1,6 +1,7 @@
 package tracking
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -31,7 +32,7 @@ func TestAnalyzeIdenticalAcrossWorkerCounts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := an.Analyze(sc.History, sc.Target, from, to)
+		rep, err := an.Analyze(context.Background(), sc.History, sc.Target, from, to)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package trawl
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -40,7 +41,7 @@ func ckptRun(t *testing.T, mutate func(*Config)) (*Harvest, error) {
 	}
 	popCfg := hspop.TestConfig(seed)
 	popCfg.Scale = 0.02
-	pop, err := hspop.Generate(popCfg)
+	pop, err := hspop.Generate(context.Background(), popCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func ckptRun(t *testing.T, mutate func(*Config)) (*Harvest, error) {
 	}
 	start := fleet.Start.Add(48 * time.Hour)
 	tr.Deploy(sim, start)
-	return tr.Run(sim, pop, db, start)
+	return tr.Run(context.Background(), sim, pop, db, start)
 }
 
 func testCkptSet(t *testing.T) *resultstore.CheckpointSet {
@@ -70,6 +71,14 @@ func testCkptSet(t *testing.T) *resultstore.CheckpointSet {
 	}
 	return c
 }
+
+// ctxSet adapts the raw store CheckpointSet to the ctx-aware trawl
+// Checkpointer, the way the experiments layer's retry wrapper does in
+// production; the storage API itself stays context-free.
+type ctxSet struct{ set *resultstore.CheckpointSet }
+
+func (c ctxSet) Save(_ context.Context, w int, s any) error         { return c.set.Save(w, s) }
+func (c ctxSet) Latest(_ context.Context, s any) (int, bool, error) { return c.set.Latest(s) }
 
 // harvestsEqual compares every output-bearing field, including the
 // request log in append order.
@@ -107,7 +116,7 @@ func TestCheckpointedRunMatchesPlain(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := testCkptSet(t)
-	got, err := ckptRun(t, func(c *Config) { c.Checkpoint = set })
+	got, err := ckptRun(t, func(c *Config) { c.Checkpoint = ctxSet{set} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +146,7 @@ func TestCrashAtStepResumesByteIdentical(t *testing.T) {
 				}
 			}
 		}()
-		ckptRun(t, func(c *Config) { c.Checkpoint = set })
+		ckptRun(t, func(c *Config) { c.Checkpoint = ctxSet{set} })
 		return
 	}
 	cp, ok := crashed()
@@ -149,7 +158,7 @@ func TestCrashAtStepResumesByteIdentical(t *testing.T) {
 	// "Process two": resume from the snapshot; output must match the
 	// uninterrupted reference bit for bit.
 	got, err := ckptRun(t, func(c *Config) {
-		c.Checkpoint = set
+		c.Checkpoint = ctxSet{set}
 		c.Resume = true
 	})
 	if err != nil {
@@ -161,7 +170,7 @@ func TestCrashAtStepResumesByteIdentical(t *testing.T) {
 func TestCheckpointEveryNCadence(t *testing.T) {
 	set := testCkptSet(t)
 	if _, err := ckptRun(t, func(c *Config) {
-		c.Checkpoint = set
+		c.Checkpoint = ctxSet{set}
 		c.CheckpointEvery = 2
 	}); err != nil {
 		t.Fatal(err)

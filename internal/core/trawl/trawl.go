@@ -9,6 +9,7 @@
 package trawl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,13 +27,15 @@ import (
 // Checkpointer persists per-step accumulator snapshots so a killed run
 // can fold forward from its last completed step. The contract matches
 // resultstore.CheckpointSet; the interface keeps trawl below the store
-// in the import graph.
+// in the import graph. The context is per call — implementations must
+// not retain it — and the cancellation flush passes an uncancellable
+// context so the final snapshot always lands.
 type Checkpointer interface {
 	// Save snapshots state after window completed.
-	Save(window int, state any) error
+	Save(ctx context.Context, window int, state any) error
 	// Latest decodes the newest valid snapshot into state; ok is false
 	// when none exists.
-	Latest(state any) (window int, ok bool, err error)
+	Latest(ctx context.Context, state any) (window int, ok bool, err error)
 }
 
 // Snapshot is the serializable accumulator state of a run after Step+1
@@ -229,7 +232,16 @@ func (t *Trawler) Owns(fp onion.Fingerprint) bool { return t.allFPs[fp] }
 // authority publish a consensus, re-publishes all service descriptors
 // onto the resulting ring, optionally drives client traffic, and reads
 // the attacker directories.
+//
+// The step is the cancellation unit: ctx is observed at every step
+// boundary (and inside the step through the traffic drive). A cancelled
+// checkpointed run flushes a snapshot of its completed steps before
+// returning ctx.Err(), so resuming after a deliberate stop loses no
+// finished work and stays byte-identical to an uninterrupted run.
+//
+//torhs:cancelpoint
 func (t *Trawler) Run(
+	ctx context.Context,
 	sim *relaynet.Sim,
 	pop *hspop.Population,
 	db *geo.DB,
@@ -252,7 +264,7 @@ func (t *Trawler) Run(
 	startStep := 0
 	if t.cfg.Resume && t.cfg.Checkpoint != nil {
 		var snap Snapshot
-		w, ok, err := t.cfg.Checkpoint.Latest(&snap)
+		w, ok, err := t.cfg.Checkpoint.Latest(ctx, &snap)
 		if err != nil {
 			return nil, fmt.Errorf("trawl: resume: %w", err)
 		}
@@ -284,7 +296,40 @@ func (t *Trawler) Run(
 	if ckptEvery <= 0 {
 		ckptEvery = 1
 	}
+	// lastSaved is the newest step already covered by a snapshot: the
+	// restored one on resume, nothing otherwise (startStep-1 is -1 for a
+	// fresh run). The cancellation flush only writes when the
+	// accumulators have advanced past it.
+	lastSaved := startStep - 1
+	flush := func(step int) error {
+		if t.cfg.Checkpoint == nil || step <= lastSaved || step < 0 {
+			return nil
+		}
+		snap := &Snapshot{
+			Step:               step,
+			Addresses:          h.Addresses,
+			PermIDs:            h.PermIDs,
+			DescriptorsSeen:    h.DescriptorsSeen,
+			StepCoverage:       h.StepCoverage,
+			Requests:           h.Log.Requests(),
+			PublishedIDs:       publishedIDs,
+			RequestedPublished: requestedPublished,
+		}
+		// The run is already cancelled; the flush must still land, so it
+		// gets a context that keeps ctx's values but not its cancel.
+		if err := t.cfg.Checkpoint.Save(context.WithoutCancel(ctx), step, snap); err != nil {
+			return fmt.Errorf("trawl: step %d: cancel flush: %w", step, err)
+		}
+		lastSaved = step
+		return nil
+	}
 	for step := startStep; step < t.cfg.Steps; step++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err := flush(step - 1); err != nil {
+				return nil, err
+			}
+			return nil, cerr
+		}
 		// The step boundary is a fault site: everything before it is
 		// checkpointed (or cheap to redo), everything after belongs to
 		// this step alone.
@@ -310,7 +355,15 @@ func (t *Trawler) Run(
 		net.PublishAll(pop, now)
 
 		if t.cfg.DriveTraffic {
-			net.DriveWindow(pop, now, t.cfg.StepLen, nil)
+			if _, err := net.DriveWindow(ctx, pop, now, t.cfg.StepLen, nil); err != nil {
+				// Cancelled mid-step: the step's per-step network is
+				// abandoned wholesale (nothing merged into the harvest),
+				// so the completed prefix is still exactly [0, step).
+				if ferr := flush(step - 1); ferr != nil {
+					return nil, ferr
+				}
+				return nil, err
+			}
 		}
 
 		// Read out every attacker-operated directory, fanned out across
@@ -348,9 +401,10 @@ func (t *Trawler) Run(
 				PublishedIDs:       publishedIDs,
 				RequestedPublished: requestedPublished,
 			}
-			if err := t.cfg.Checkpoint.Save(step, snap); err != nil {
+			if err := t.cfg.Checkpoint.Save(ctx, step, snap); err != nil {
 				return nil, fmt.Errorf("trawl: step %d: checkpoint: %w", step, err)
 			}
+			lastSaved = step
 		}
 	}
 

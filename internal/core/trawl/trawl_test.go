@@ -1,6 +1,7 @@
 package trawl
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -35,7 +36,7 @@ func TestRunWithoutDeployFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Run(nil, nil, nil, time.Now()); err == nil {
+	if _, err := tr.Run(context.Background(), nil, nil, nil, time.Now()); err == nil {
 		t.Fatal("Run without Deploy succeeded")
 	}
 }
@@ -63,7 +64,7 @@ func setupTrawl(t *testing.T, seed int64, steps int, driveTraffic bool) (*Trawle
 
 	popCfg := hspop.TestConfig(seed)
 	popCfg.Scale = 0.02
-	pop, err := hspop.Generate(popCfg)
+	pop, err := hspop.Generate(context.Background(), popCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func setupTrawl(t *testing.T, seed int64, steps int, driveTraffic bool) (*Trawle
 
 func TestTrawlCollectsMostAddresses(t *testing.T) {
 	tr, sim, pop, db, start := setupTrawl(t, 2, 8, false)
-	h, err := tr.Run(sim, pop, db, start)
+	h, err := tr.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTrawlCollectsMostAddresses(t *testing.T) {
 
 func TestTrawlStepCoverageReflectsFleet(t *testing.T) {
 	tr, sim, pop, db, start := setupTrawl(t, 3, 4, false)
-	h, err := tr.Run(sim, pop, db, start)
+	h, err := tr.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestTrawlStepCoverageReflectsFleet(t *testing.T) {
 
 func TestTrawlGathersRequestLog(t *testing.T) {
 	tr, sim, pop, db, start := setupTrawl(t, 4, 3, true)
-	h, err := tr.Run(sim, pop, db, start)
+	h, err := tr.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTrawlGathersRequestLog(t *testing.T) {
 
 func TestTrawlPublishedVersusRequestedStatistic(t *testing.T) {
 	tr, sim, pop, db, start := setupTrawl(t, 11, 4, true)
-	h, err := tr.Run(sim, pop, db, start)
+	h, err := tr.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestTrawlPublishedVersusRequestedStatistic(t *testing.T) {
 
 func TestTrawlCoverageScalesWithFleetSize(t *testing.T) {
 	trSmall, simSmall, popSmall, dbSmall, startSmall := setupTrawl(t, 12, 2, false)
-	small, err := trSmall.Run(simSmall, popSmall, dbSmall, startSmall)
+	small, err := trSmall.Run(context.Background(), simSmall, popSmall, dbSmall, startSmall)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestTrawlCoverageScalesWithFleetSize(t *testing.T) {
 	}
 	popCfg := hspop.TestConfig(12)
 	popCfg.Scale = 0.02
-	pop, err := hspop.Generate(popCfg)
+	pop, err := hspop.Generate(context.Background(), popCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestTrawlCoverageScalesWithFleetSize(t *testing.T) {
 	}
 	start := fleet.Start.Add(48 * time.Hour)
 	tiny.Deploy(sim, start)
-	tinyH, err := tiny.Run(sim, pop, db, start)
+	tinyH, err := tiny.Run(context.Background(), sim, pop, db, start)
 	if err != nil {
 		t.Fatal(err)
 	}

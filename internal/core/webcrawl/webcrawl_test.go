@@ -1,6 +1,7 @@
 package webcrawl
 
 import (
+	"context"
 	"testing"
 
 	"torhs/internal/darknet"
@@ -10,7 +11,7 @@ import (
 
 func setupCrawl(t *testing.T, seed int64) (*Crawler, *hspop.Population, []onion.Address) {
 	t.Helper()
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func setupCrawl(t *testing.T, seed int64) (*Crawler, *hspop.Population, []onion.
 }
 
 func TestNewValidation(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(1))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestCrawlCountsDeadLinks(t *testing.T) {
 }
 
 func TestCrawlRespectsPageBudget(t *testing.T) {
-	pop, err := hspop.Generate(hspop.TestConfig(4))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package darknet
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func testFabric(t *testing.T) (*Fabric, *hspop.Population) {
 	t.Helper()
-	pop, err := hspop.Generate(hspop.TestConfig(3))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -87,16 +88,19 @@ type retryCheckpointer struct {
 	set *resultstore.CheckpointSet
 }
 
-// Save persists one window snapshot, retrying transient faults.
-func (r *retryCheckpointer) Save(window int, state any) error {
-	return fault.Retry(fault.DefaultRetry, func() error {
+// Save persists one window snapshot, retrying transient faults. The ctx
+// only gates the retry loop (abort between attempts, skip the backoff
+// sleep); cancel-flush callers pass context.WithoutCancel so the final
+// snapshot of a cancelled run still lands.
+func (r *retryCheckpointer) Save(ctx context.Context, window int, state any) error {
+	return fault.RetryCtx(ctx, fault.DefaultRetry, func() error {
 		return r.set.Save(window, state)
 	})
 }
 
 // Latest loads the newest valid snapshot, retrying transient faults.
-func (r *retryCheckpointer) Latest(state any) (window int, ok bool, err error) {
-	err = fault.Retry(fault.DefaultRetry, func() error {
+func (r *retryCheckpointer) Latest(ctx context.Context, state any) (window int, ok bool, err error) {
+	err = fault.RetryCtx(ctx, fault.DefaultRetry, func() error {
 		var inner error
 		window, ok, inner = r.set.Latest(state)
 		return inner

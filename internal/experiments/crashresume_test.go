@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -64,7 +65,7 @@ func TestCrashResumeChild(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	_, err = Paper().RunStudy(env, RunOptions{
+	_, err = Paper().RunStudy(context.Background(), env, RunOptions{
 		Names:           parseNames(os.Getenv(crashSelectEnv)),
 		Scenario:        "crash",
 		Store:           store,

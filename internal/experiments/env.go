@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -103,7 +104,9 @@ func NewEnv(cfg Config) (*Env, error) {
 func (e *Env) Config() Config { return e.cfg }
 
 // Population returns the memoized synthetic hidden-service landscape.
-func (e *Env) Population() (*hspop.Population, error) {
+// The first caller's ctx governs the build; a cancelled build latches
+// ctx.Err() into the memo like any other build failure.
+func (e *Env) Population(ctx context.Context) (*hspop.Population, error) {
 	return e.pop.get(func() (*hspop.Population, error) {
 		popCfg := hspop.PaperConfig(e.cfg.Seed)
 		popCfg.Scale = e.cfg.Scale
@@ -111,7 +114,7 @@ func (e *Env) Population() (*hspop.Population, error) {
 		if e.cfg.BotFactor > 0 {
 			popCfg.SkynetBots = int(float64(popCfg.SkynetBots) * e.cfg.BotFactor)
 		}
-		pop, err := hspop.Generate(popCfg)
+		pop, err := hspop.Generate(ctx, popCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
@@ -120,9 +123,9 @@ func (e *Env) Population() (*hspop.Population, error) {
 }
 
 // Fabric returns the memoized reachability fabric over the population.
-func (e *Env) Fabric() (*darknet.Fabric, error) {
+func (e *Env) Fabric(ctx context.Context) (*darknet.Fabric, error) {
 	return e.fabric.get(func() (*darknet.Fabric, error) {
-		pop, err := e.Population()
+		pop, err := e.Population(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -244,8 +247,8 @@ func (e *Env) artefactMemo(name string) *memo[Artefact] {
 
 // addresses returns every onion address in the population (the trawled
 // collection).
-func (e *Env) addresses() ([]onion.Address, error) {
-	pop, err := e.Population()
+func (e *Env) addresses(ctx context.Context) ([]onion.Address, error) {
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func TestGoldenSmokeStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Paper().Run(env, nil, &buf); err != nil {
+	if err := Paper().Run(context.Background(), env, nil, &buf); err != nil {
 		t.Fatal(err)
 	}
 

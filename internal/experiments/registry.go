@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -53,16 +54,18 @@ func (f ArtefactFunc) Render(w io.Writer) { f(w) }
 
 // Experiment is one entry in the registry: a named, dependency-declaring
 // unit of the study. Run executes against the shared substrate; results
-// of experiments listed in Needs are available through Env.Dep.
+// of experiments listed in Needs are available through Env.Dep. The
+// context is per run — implementations must observe it at their natural
+// boundaries and never retain it.
 type Experiment interface {
 	Name() string
 	Needs() []string
-	Run(*Env) (Artefact, error)
+	Run(ctx context.Context, e *Env) (Artefact, error)
 }
 
 // NewExperiment builds an Experiment from a closure. doc is the one-line
 // description surfaced by Registry.Describe (and `hsstudy -list`).
-func NewExperiment(name, doc string, needs []string, run func(*Env) (Artefact, error)) Experiment {
+func NewExperiment(name, doc string, needs []string, run func(ctx context.Context, e *Env) (Artefact, error)) Experiment {
 	return funcExp{name: name, doc: doc, needs: needs, run: run}
 }
 
@@ -70,14 +73,14 @@ type funcExp struct {
 	name  string
 	doc   string
 	needs []string
-	run   func(*Env) (Artefact, error)
+	run   func(ctx context.Context, e *Env) (Artefact, error)
 }
 
 func (f funcExp) Name() string { return f.name }
 
 func (f funcExp) Needs() []string { return append([]string(nil), f.needs...) }
 
-func (f funcExp) Run(e *Env) (Artefact, error) { return f.run(e) }
+func (f funcExp) Run(ctx context.Context, e *Env) (Artefact, error) { return f.run(ctx, e) }
 
 func (f funcExp) Doc() string { return f.doc }
 
@@ -187,8 +190,11 @@ func (r *Registry) Resolve(names []string) ([]Experiment, error) {
 // artefact returns the experiment's memoized artefact, running it (and,
 // when called outside the scheduler, any missing dependencies) first.
 // The memo makes every path single-flight: the scheduler, the Study
-// wrappers and direct calls all converge on one execution per Env.
-func (r *Registry) artefact(env *Env, name string) (Artefact, error) {
+// wrappers and direct calls all converge on one execution per Env — the
+// first caller's ctx governs the execution (concurrent callers share
+// its outcome, including a ctx.Err(), which the memo latches like any
+// other failure).
+func (r *Registry) artefact(ctx context.Context, env *Env, name string) (Artefact, error) {
 	exp, ok := r.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
@@ -196,11 +202,11 @@ func (r *Registry) artefact(env *Env, name string) (Artefact, error) {
 	m := env.artefactMemo(name)
 	return m.get(func() (Artefact, error) {
 		for _, dep := range exp.Needs() {
-			if _, err := r.artefact(env, dep); err != nil {
+			if _, err := r.artefact(ctx, env, dep); err != nil {
 				return nil, err
 			}
 		}
-		a, err := exp.Run(env)
+		a, err := exp.Run(ctx, env)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -215,8 +221,8 @@ func (r *Registry) artefact(env *Env, name string) (Artefact, error) {
 // but not rendered) in stable render order. For a fixed seed the output
 // is byte-identical at every worker count and for every subset: each
 // experiment renders exactly the bytes it contributes to the full study.
-func (r *Registry) Run(env *Env, names []string, w io.Writer) error {
-	_, err := r.RunStudy(env, RunOptions{Names: names}, w)
+func (r *Registry) Run(ctx context.Context, env *Env, names []string, w io.Writer) error {
+	_, err := r.RunStudy(ctx, env, RunOptions{Names: names}, w)
 	return err
 }
 
@@ -257,6 +263,21 @@ type RunOptions struct {
 	// window zero. A run with no (or stale-keyed) snapshots starts from
 	// scratch — resuming is always safe, never required.
 	Resume bool
+	// Progress, when non-nil, observes scheduling transitions: it fires
+	// from scheduler goroutines (implementations must be safe for
+	// concurrent use) and must return quickly — it sits on the task
+	// boundary, not the hot path.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one scheduling transition of one experiment.
+type ProgressEvent struct {
+	// Experiment is the registered name.
+	Experiment string
+	// Stage is "cached", "start", "done", or "failed".
+	Stage string
+	// Err carries the failure message when Stage is "failed".
+	Err string
 }
 
 // RunResult reports what one pipeline invocation actually did.
@@ -284,10 +305,11 @@ func storeKey(cfg Config, scenario, experiment string) resultstore.Key {
 
 // putRetry persists one document, absorbing transient store faults with
 // the default backoff policy before they can reach an artefact memo or
-// abort the run.
-func putRetry(s *resultstore.Store, k resultstore.Key, doc *report.Document) (string, error) {
+// abort the run. Cancelling ctx aborts the backoff wait, not a write in
+// flight (store writes are atomic renames).
+func putRetry(ctx context.Context, s *resultstore.Store, k resultstore.Key, doc *report.Document) (string, error) {
 	var hash string
-	err := fault.Retry(fault.DefaultRetry, func() error {
+	err := fault.RetryCtx(ctx, fault.DefaultRetry, func() error {
 		var inner error
 		hash, inner = s.Put(k, doc)
 		return inner
@@ -296,8 +318,8 @@ func putRetry(s *resultstore.Store, k resultstore.Key, doc *report.Document) (st
 }
 
 // getRetry reads one document, absorbing transient store faults.
-func getRetry(s *resultstore.Store, k resultstore.Key) (doc *report.Document, hash string, ok bool, err error) {
-	err = fault.Retry(fault.DefaultRetry, func() error {
+func getRetry(ctx context.Context, s *resultstore.Store, k resultstore.Key) (doc *report.Document, hash string, ok bool, err error) {
+	err = fault.RetryCtx(ctx, fault.DefaultRetry, func() error {
 		var inner error
 		doc, hash, ok, inner = s.Get(k)
 		return inner
@@ -310,7 +332,16 @@ func getRetry(s *resultstore.Store, k resultstore.Key) (doc *report.Document, ha
 // experiments that still need to execute (plus their dependency
 // closure) on the parallel DAG, persists fresh documents, and encodes
 // the selected documents to w (nil w skips encoding — store-only runs).
-func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult, error) {
+//
+// Cancelling ctx stops the schedule at the kernels' checkpoint
+// boundaries and returns ctx.Err(). The stop is checkpoint-safe:
+// checkpointing kernels flush their latest window snapshot on the way
+// out, every experiment that completed before the cancellation persists
+// its full document (partial documents never reach the store — an
+// artefact either finished or left nothing), and the window snapshots
+// are NOT cleared, so a later Resume run picks up exactly where the
+// cancelled one stopped and produces byte-identical output.
+func (r *Registry) RunStudy(ctx context.Context, env *Env, opts RunOptions, w io.Writer) (*RunResult, error) {
 	format := opts.Format
 	if format == "" {
 		format = report.FormatText
@@ -341,6 +372,12 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 		}
 	}
 
+	emit := func(ev ProgressEvent) {
+		if opts.Progress != nil {
+			opts.Progress(ev)
+		}
+	}
+
 	// Cache pass: a selected experiment whose document is persisted
 	// under the exact key is served from the store and never scheduled.
 	cached := make(map[string]*report.Document)
@@ -351,7 +388,7 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 			if !selected[name] {
 				continue
 			}
-			doc, hash, ok, err := getRetry(opts.Store, storeKey(env.cfg, scenario, name))
+			doc, hash, ok, err := getRetry(ctx, opts.Store, storeKey(env.cfg, scenario, name))
 			if err != nil {
 				return nil, err
 			}
@@ -382,19 +419,29 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 		}
 		res.Executed = append(res.Executed, name)
 		if err := d.Add(name, exp.Needs(), func() error {
-			_, err := r.artefact(env, name)
-			return err
+			emit(ProgressEvent{Experiment: name, Stage: "start"})
+			_, err := r.artefact(ctx, env, name)
+			if err != nil {
+				emit(ProgressEvent{Experiment: name, Stage: "failed", Err: err.Error()})
+				return err
+			}
+			emit(ProgressEvent{Experiment: name, Stage: "done"})
+			return nil
 		}); err != nil {
 			return nil, err
 		}
 	}
-	if err := d.Run(); err != nil {
+	if err := d.Run(ctx); err != nil {
 		// Surface partial results: every experiment that completed
-		// before the failure persists its document, so the failed run's
-		// work is already cached when the study is retried (or resumed)
-		// and visible to the serving layer. Best-effort — the scheduler
-		// error is the one the caller must see.
+		// before the failure (or cancellation) persists its document, so
+		// the failed run's work is already cached when the study is
+		// retried (or resumed) and visible to the serving layer.
+		// Best-effort — the scheduler error is the one the caller must
+		// see — and deliberately uncancellable: only *complete* artefact
+		// documents are in the memos, and losing them to an already-
+		// cancelled ctx would throw away finished work.
 		if opts.Store != nil {
+			persistCtx := context.WithoutCancel(ctx)
 			for _, exp := range exps {
 				name := exp.Name()
 				if !toRun[name] {
@@ -404,7 +451,7 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 				if !ok || aerr != nil {
 					continue
 				}
-				_, _ = putRetry(opts.Store, storeKey(env.cfg, scenario, name), ArtefactDocument(name, a))
+				_, _ = putRetry(persistCtx, opts.Store, storeKey(env.cfg, scenario, name), ArtefactDocument(name, a))
 			}
 		}
 		return nil, err
@@ -426,6 +473,7 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 		switch {
 		case doc != nil:
 			res.Cached = append(res.Cached, name)
+			emit(ProgressEvent{Experiment: name, Stage: "cached"})
 			// The key matched (the hash ignores the scenario label),
 			// but this label's serving slot may not exist yet — bind it
 			// so the run is servable under the label it asked for.
@@ -434,13 +482,13 @@ func (r *Registry) RunStudy(env *Env, opts RunOptions, w io.Writer) (*RunResult,
 			// abort a fully-cached render.
 			_ = opts.Store.Bind(storeKey(env.cfg, scenario, name), cachedHash[name])
 		case toRun[name]:
-			a, err := r.artefact(env, name)
+			a, err := r.artefact(ctx, env, name)
 			if err != nil {
 				return nil, err
 			}
 			doc = ArtefactDocument(name, a)
 			if opts.Store != nil {
-				if _, err := putRetry(opts.Store, storeKey(env.cfg, scenario, name), doc); err != nil {
+				if _, err := putRetry(ctx, opts.Store, storeKey(env.cfg, scenario, name), doc); err != nil {
 					return nil, err
 				}
 			}
@@ -495,8 +543,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpCollection,
 			"introduction: link-graph crawl vs the trawling attack over one landscape",
 			nil,
-			func(e *Env) (Artefact, error) {
-				res, err := e.runCollectionComparison()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				res, err := e.runCollectionComparison(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -505,8 +553,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpScan,
 			"Fig. 1 open-ports distribution + Section III certificate audit",
 			nil,
-			func(e *Env) (Artefact, error) {
-				res, audit, err := e.runScan()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				res, audit, err := e.runScan(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -515,12 +563,12 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpContent,
 			"Table I destinations, Section IV language mix, Fig. 2 topics",
 			[]string{ExpScan},
-			func(e *Env) (Artefact, error) {
+			func(ctx context.Context, e *Env) (Artefact, error) {
 				dep, err := e.Dep(ExpScan)
 				if err != nil {
 					return nil, err
 				}
-				res, err := e.runContent(dep.(*scanArtefact).res)
+				res, err := e.runContent(ctx, dep.(*scanArtefact).res)
 				if err != nil {
 					return nil, err
 				}
@@ -529,8 +577,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpPrefixAudit,
 			"vanity-prefix clusters (the paper's silkroa phishing audit)",
 			nil,
-			func(e *Env) (Artefact, error) {
-				clusters, err := e.runPrefixAudit(7, 3)
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				clusters, err := e.runPrefixAudit(ctx, 7, 3)
 				if err != nil {
 					return nil, err
 				}
@@ -539,8 +587,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpPopularity,
 			"Table II popularity ranking over the trawled request log",
 			nil,
-			func(e *Env) (Artefact, error) {
-				res, err := e.runPopularity()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				res, err := e.runPopularity(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -549,8 +597,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpDeanon,
 			"Fig. 3: deanonymise the clients of the rank-1 Goldnet front",
 			nil,
-			func(e *Env) (Artefact, error) {
-				rep, err := e.runDeanon()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				rep, err := e.runDeanon(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -559,8 +607,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpServiceDeanon,
 			"Section II-B service-side guard attack on the Silk Road stand-in",
 			nil,
-			func(e *Env) (Artefact, error) {
-				rep, err := e.runServiceDeanon()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				rep, err := e.runServiceDeanon(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -569,8 +617,8 @@ func registerPaper(r *Registry) error {
 		NewExperiment(ExpTracking,
 			"Section VII tracking detection on the Silk Road consensus history",
 			nil,
-			func(e *Env) (Artefact, error) {
-				res, err := e.runTracking()
+			func(ctx context.Context, e *Env) (Artefact, error) {
+				res, err := e.runTracking(ctx)
 				if err != nil {
 					return nil, err
 				}

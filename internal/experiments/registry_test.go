@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,7 +32,7 @@ func renderSubset(t *testing.T, seed int64, workers int, names []string) string 
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Paper().Run(env, names, &buf); err != nil {
+	if err := Paper().Run(context.Background(), env, names, &buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.String()
@@ -88,7 +89,7 @@ func TestSubsetSharesDependencyExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Paper().Run(env, []string{ExpContent}, io.Discard); err != nil {
+	if err := Paper().Run(context.Background(), env, []string{ExpContent}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	a, err := env.Dep(ExpScan)
@@ -127,7 +128,7 @@ func TestRegistryResolve(t *testing.T) {
 
 func TestRegisterValidation(t *testing.T) {
 	r := NewRegistry()
-	ok := NewExperiment("a", "", nil, func(*Env) (Artefact, error) { return ArtefactFunc(func(io.Writer) {}), nil })
+	ok := NewExperiment("a", "", nil, func(context.Context, *Env) (Artefact, error) { return ArtefactFunc(func(io.Writer) {}), nil })
 	if err := r.Register(ok); err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRegisterValidation(t *testing.T) {
 func TestCustomExperiment(t *testing.T) {
 	r := Paper()
 	err := r.Register(NewExperiment("descriptor-count", "how many services published", []string{ExpScan},
-		func(e *Env) (Artefact, error) {
+		func(ctx context.Context, e *Env) (Artefact, error) {
 			dep, err := e.Dep(ExpScan)
 			if err != nil {
 				return nil, err
@@ -168,7 +169,7 @@ func TestCustomExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := r.Run(env, []string{"descriptor-count"}, &buf); err != nil {
+	if err := r.Run(context.Background(), env, []string{"descriptor-count"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -183,19 +184,22 @@ func TestRunPropagatesExperimentError(t *testing.T) {
 	boom := errors.New("boom")
 	r := NewRegistry()
 	if err := r.Register(NewExperiment("fail", "", nil,
-		func(*Env) (Artefact, error) { return nil, boom })); err != nil {
+		func(context.Context, *Env) (Artefact, error) { return nil, boom })); err != nil {
 		t.Fatal(err)
 	}
 	ran := false
 	if err := r.Register(NewExperiment("child", "", []string{"fail"},
-		func(*Env) (Artefact, error) { ran = true; return ArtefactFunc(func(io.Writer) {}), nil })); err != nil {
+		func(context.Context, *Env) (Artefact, error) {
+			ran = true
+			return ArtefactFunc(func(io.Writer) {}), nil
+		})); err != nil {
 		t.Fatal(err)
 	}
 	env, err := NewEnv(subsetConfig(1, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	runErr := r.Run(env, nil, io.Discard)
+	runErr := r.Run(context.Background(), env, nil, io.Discard)
 	if !errors.Is(runErr, boom) || !strings.Contains(runErr.Error(), "fail") {
 		t.Fatalf("err = %v, want wrapped boom", runErr)
 	}
@@ -214,7 +218,7 @@ func TestDepBeforeRunIsAnError(t *testing.T) {
 	}
 	// The failed probe must not poison the memo: the experiment still
 	// runs on this Env afterwards.
-	if err := Paper().Run(env, []string{ExpScan}, io.Discard); err != nil {
+	if err := Paper().Run(context.Background(), env, []string{ExpScan}, io.Discard); err != nil {
 		t.Fatalf("scan no longer runs after an early Dep probe: %v", err)
 	}
 	if a, err := env.Dep(ExpScan); err != nil || a.(*scanArtefact).res == nil {

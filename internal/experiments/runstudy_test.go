@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"reflect"
 	"strings"
@@ -33,7 +34,7 @@ func TestRunStudyCacheSkipsExecution(t *testing.T) {
 	opts := RunOptions{Scenario: "laptop", Store: store}
 
 	var first bytes.Buffer
-	res1, err := Paper().RunStudy(newStudyEnv(t, 5), opts, &first)
+	res1, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), opts, &first)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestRunStudyCacheSkipsExecution(t *testing.T) {
 
 	var second bytes.Buffer
 	opts.UseCache = true
-	res2, err := Paper().RunStudy(newStudyEnv(t, 5), opts, &second)
+	res2, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), opts, &second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRunStudyCacheSkipsDependencies(t *testing.T) {
 	}
 	opts := RunOptions{Names: []string{ExpContent}, Scenario: "laptop", Store: store, UseCache: true}
 
-	res1, err := Paper().RunStudy(newStudyEnv(t, 5), opts, nil)
+	res1, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRunStudyCacheSkipsDependencies(t *testing.T) {
 		t.Fatalf("miss run executed %v, want scan then content", res1.Executed)
 	}
 
-	res2, err := Paper().RunStudy(newStudyEnv(t, 5), opts, nil)
+	res2, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRunStudyCacheSkipsDependencies(t *testing.T) {
 	// too: selecting it alone now is a cache hit, not a re-execution.
 	scanOnly := opts
 	scanOnly.Names = []string{ExpScan}
-	res3, err := Paper().RunStudy(newStudyEnv(t, 5), scanOnly, nil)
+	res3, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), scanOnly, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,14 +109,14 @@ func TestRunStudyCachedDependencyOfMissReportsExecuted(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Warm the cache with scan only.
-	if _, err := Paper().RunStudy(newStudyEnv(t, 5), RunOptions{
+	if _, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), RunOptions{
 		Names: []string{ExpScan}, Scenario: "laptop", Store: store,
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Select scan+content: content misses and needs scan, so scan runs.
 	var out bytes.Buffer
-	res, err := Paper().RunStudy(newStudyEnv(t, 5), RunOptions{
+	res, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), RunOptions{
 		Names: []string{ExpScan, ExpContent}, Scenario: "laptop", Store: store, UseCache: true,
 	}, &out)
 	if err != nil {
@@ -125,7 +126,7 @@ func TestRunStudyCachedDependencyOfMissReportsExecuted(t *testing.T) {
 		t.Fatalf("executed=%v cached=%v, want both executed and nothing cached", res.Executed, res.Cached)
 	}
 	var fresh bytes.Buffer
-	if err := Paper().Run(newStudyEnv(t, 5), []string{ExpScan, ExpContent}, &fresh); err != nil {
+	if err := Paper().Run(context.Background(), newStudyEnv(t, 5), []string{ExpScan, ExpContent}, &fresh); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != fresh.String() {
@@ -144,12 +145,12 @@ func TestRunStudyCacheKeyedByInputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := RunOptions{Names: []string{ExpPrefixAudit}, Scenario: "laptop", Store: store, UseCache: true}
-	if _, err := Paper().RunStudy(newStudyEnv(t, 5), base, nil); err != nil {
+	if _, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), base, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	// Different seed: miss.
-	res, err := Paper().RunStudy(newStudyEnv(t, 6), base, nil)
+	res, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 6), base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRunStudyCacheKeyedByInputs(t *testing.T) {
 	// Different scenario label, same parameters: hit.
 	relabelled := base
 	relabelled.Scenario = "custom"
-	res, err = Paper().RunStudy(newStudyEnv(t, 5), relabelled, nil)
+	res, err = Paper().RunStudy(context.Background(), newStudyEnv(t, 5), relabelled, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestRunStudyJSONRoundTrips(t *testing.T) {
 	var buf bytes.Buffer
 	opts := RunOptions{Names: []string{ExpPrefixAudit, ExpTracking}, Format: report.FormatJSON,
 		Scenario: "laptop", Store: store}
-	if _, err := Paper().RunStudy(newStudyEnv(t, 5), opts, &buf); err != nil {
+	if _, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 5), opts, &buf); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := report.DecodeJSON(bytes.NewReader(buf.Bytes()))
@@ -229,10 +230,10 @@ func mustCanonical(t *testing.T, d *report.Document) []byte {
 // facade emit identical bytes.
 func TestRunStudyTextMatchesRun(t *testing.T) {
 	var legacy, study bytes.Buffer
-	if err := Paper().Run(newStudyEnv(t, 9), []string{ExpPrefixAudit}, &legacy); err != nil {
+	if err := Paper().Run(context.Background(), newStudyEnv(t, 9), []string{ExpPrefixAudit}, &legacy); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Paper().RunStudy(newStudyEnv(t, 9), RunOptions{Names: []string{ExpPrefixAudit}}, &study); err != nil {
+	if _, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 9), RunOptions{Names: []string{ExpPrefixAudit}}, &study); err != nil {
 		t.Fatal(err)
 	}
 	if legacy.String() != study.String() {
@@ -241,7 +242,7 @@ func TestRunStudyTextMatchesRun(t *testing.T) {
 }
 
 func TestRunStudyRejectsUnknownFormat(t *testing.T) {
-	if _, err := Paper().RunStudy(newStudyEnv(t, 1), RunOptions{Format: "xml"}, nil); err == nil {
+	if _, err := Paper().RunStudy(context.Background(), newStudyEnv(t, 1), RunOptions{Format: "xml"}, nil); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -111,7 +112,9 @@ func ConfigFromSpec(sp scenario.Spec, seed int64) Config {
 // Study is the typed facade over the paper registry: it owns one Env and
 // exposes each registered experiment as a RunX method returning concrete
 // result types. Results are memoized per Study — a second call returns
-// the first call's (deterministic) artefact.
+// the first call's (deterministic) artefact. The facade runs without
+// cancellation (context.Background); callers that need deadlines or
+// graceful interruption drive the registry via RunStudy instead.
 type Study struct {
 	env *Env
 }
@@ -124,7 +127,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := env.Fabric(); err != nil { // builds the population too
+	if _, err := env.Fabric(context.Background()); err != nil { // builds the population too
 		return nil, err
 	}
 	if _, err := env.GeoDB(); err != nil {
@@ -138,13 +141,13 @@ func (s *Study) Env() *Env { return s.env }
 
 // Population exposes the generated landscape.
 func (s *Study) Population() *hspop.Population {
-	pop, _ := s.env.Population() // built by NewStudy
+	pop, _ := s.env.Population(context.Background()) // built by NewStudy
 	return pop
 }
 
 // Fabric exposes the reachability fabric.
 func (s *Study) Fabric() *darknet.Fabric {
-	f, _ := s.env.Fabric() // built by NewStudy
+	f, _ := s.env.Fabric(context.Background()) // built by NewStudy
 	return f
 }
 
@@ -162,19 +165,19 @@ type CollectionComparison struct {
 // trawling attack over the same population (E0, the introduction's
 // motivation).
 func (s *Study) RunCollectionComparison() (*CollectionComparison, error) {
-	a, err := paperRegistry.artefact(s.env, ExpCollection)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpCollection)
 	if err != nil {
 		return nil, err
 	}
 	return a.(*collectionArtefact).res, nil
 }
 
-func (e *Env) runCollectionComparison() (*CollectionComparison, error) {
-	fabric, err := e.Fabric()
+func (e *Env) runCollectionComparison(ctx context.Context) (*CollectionComparison, error) {
+	fabric, err := e.Fabric(ctx)
 	if err != nil {
 		return nil, err
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +194,7 @@ func (e *Env) runCollectionComparison() (*CollectionComparison, error) {
 	}
 	crawlRes := wc.Crawl(seeds)
 
-	harvest, err := e.runTrawl(4, false)
+	harvest, err := e.runTrawl(ctx, 4, false)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +217,12 @@ func (e *Env) runCollectionComparison() (*CollectionComparison, error) {
 // traffic. The trawler mutates its sim, so each caller owns its offset —
 // which also keys the checkpoint set: two trawls in one study snapshot
 // into disjoint sets ("ckpt-trawl-1", "ckpt-trawl-4").
-func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, error) {
+func (e *Env) runTrawl(ctx context.Context, seedOffset int64, driveTraffic bool) (*trawl.Harvest, error) {
 	sim, err := e.RelaySim(seedOffset)
 	if err != nil {
 		return nil, err
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +255,7 @@ func (e *Env) runTrawl(seedOffset int64, driveTraffic bool) (*trawl.Harvest, err
 	}
 	start := relaynet.DefaultFleetConfig(e.cfg.Seed).Start.Add(48 * time.Hour)
 	tr.Deploy(sim, start)
-	return tr.Run(sim, pop, geoDB, start)
+	return tr.Run(ctx, sim, pop, geoDB, start)
 }
 
 // PrefixCluster is a group of onion addresses sharing a vanity prefix —
@@ -268,17 +271,17 @@ type PrefixCluster struct {
 // characters and reports clusters of at least minSize addresses. The
 // registered experiment uses (7, 3), the paper's parameters.
 func (s *Study) RunPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
-	return s.env.runPrefixAudit(prefixLen, minSize)
+	return s.env.runPrefixAudit(context.Background(), prefixLen, minSize)
 }
 
-func (e *Env) runPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
+func (e *Env) runPrefixAudit(ctx context.Context, prefixLen, minSize int) ([]PrefixCluster, error) {
 	if prefixLen <= 0 || prefixLen >= 16 {
 		return nil, fmt.Errorf("experiments: prefix length %d out of (0,16)", prefixLen)
 	}
 	if minSize < 2 {
 		return nil, fmt.Errorf("experiments: cluster size %d must be >= 2", minSize)
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +316,7 @@ func (e *Env) runPrefixAudit(prefixLen, minSize int) ([]PrefixCluster, error) {
 
 // RunScan executes E1 (Fig. 1) and the certificate audit (E2).
 func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
-	a, err := paperRegistry.artefact(s.env, ExpScan)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpScan)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,12 +324,12 @@ func (s *Study) RunScan() (*scan.Result, *scan.CertAudit, error) {
 	return sa.res, sa.audit, nil
 }
 
-func (e *Env) runScan() (*scan.Result, *scan.CertAudit, error) {
-	fabric, err := e.Fabric()
+func (e *Env) runScan(ctx context.Context) (*scan.Result, *scan.CertAudit, error) {
+	fabric, err := e.Fabric(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
-	addrs, err := e.addresses()
+	addrs, err := e.addresses(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -343,11 +346,11 @@ func (e *Env) runScan() (*scan.Result, *scan.CertAudit, error) {
 // RunContent executes E3–E5 (Table I, language mix, Fig. 2), feeding the
 // crawl with the scan's destinations.
 func (s *Study) RunContent(scanRes *scan.Result) (*content.Result, error) {
-	return s.env.runContent(scanRes)
+	return s.env.runContent(context.Background(), scanRes)
 }
 
-func (e *Env) runContent(scanRes *scan.Result) (*content.Result, error) {
-	fabric, err := e.Fabric()
+func (e *Env) runContent(ctx context.Context, scanRes *scan.Result) (*content.Result, error) {
+	fabric, err := e.Fabric(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -374,19 +377,19 @@ type PopularityResult struct {
 // RunPopularity executes the trawl with traffic and resolves the request
 // log (E6, Table II).
 func (s *Study) RunPopularity() (*PopularityResult, error) {
-	a, err := paperRegistry.artefact(s.env, ExpPopularity)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpPopularity)
 	if err != nil {
 		return nil, err
 	}
 	return a.(*popularityArtefact).res, nil
 }
 
-func (e *Env) runPopularity() (*PopularityResult, error) {
-	harvest, err := e.runTrawl(1, true)
+func (e *Env) runPopularity(ctx context.Context) (*PopularityResult, error) {
+	harvest, err := e.runTrawl(ctx, 1, true)
 	if err != nil {
 		return nil, err
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -416,19 +419,19 @@ func (e *Env) runPopularity() (*PopularityResult, error) {
 // RunDeanon executes E7 (Fig. 3): deanonymise the clients of the most
 // popular Goldnet front.
 func (s *Study) RunDeanon() (*deanon.Report, error) {
-	a, err := paperRegistry.artefact(s.env, ExpDeanon)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpDeanon)
 	if err != nil {
 		return nil, err
 	}
 	return a.(*deanonArtefact).rep, nil
 }
 
-func (e *Env) runDeanon() (*deanon.Report, error) {
+func (e *Env) runDeanon(ctx context.Context) (*deanon.Report, error) {
 	doc, err := e.Consensus(2)
 	if err != nil {
 		return nil, err
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -461,26 +464,26 @@ func (e *Env) runDeanon() (*deanon.Report, error) {
 		return nil, fmt.Errorf("experiments: no Goldnet front in population (Table II head missing)")
 	}
 	cfg := deanon.DefaultConfig(e.cfg.Seed)
-	return deanon.Run(net, pop, target, now, cfg)
+	return deanon.Run(ctx, net, pop, target, now, cfg)
 }
 
 // RunServiceDeanon executes the Section II-B dependency experiment: the
 // original [8] guard attack against the hidden service itself, applied to
 // the Silk Road stand-in over a month of daily descriptor uploads.
 func (s *Study) RunServiceDeanon() (*deanon.ServiceReport, error) {
-	a, err := paperRegistry.artefact(s.env, ExpServiceDeanon)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpServiceDeanon)
 	if err != nil {
 		return nil, err
 	}
 	return a.(*serviceDeanonArtefact).rep, nil
 }
 
-func (e *Env) runServiceDeanon() (*deanon.ServiceReport, error) {
+func (e *Env) runServiceDeanon(ctx context.Context) (*deanon.ServiceReport, error) {
 	doc, err := e.Consensus(3)
 	if err != nil {
 		return nil, err
 	}
-	pop, err := e.Population()
+	pop, err := e.Population(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -519,14 +522,14 @@ type TrackingResult struct {
 // RunTracking executes E8: build the Silk Road consensus history with
 // planted trackers and detect them.
 func (s *Study) RunTracking() (*TrackingResult, error) {
-	a, err := paperRegistry.artefact(s.env, ExpTracking)
+	a, err := paperRegistry.artefact(context.Background(), s.env, ExpTracking)
 	if err != nil {
 		return nil, err
 	}
 	return a.(*trackingArtefact).res, nil
 }
 
-func (e *Env) runTracking() (*TrackingResult, error) {
+func (e *Env) runTracking(ctx context.Context) (*TrackingResult, error) {
 	// One config for both the scenario build and the analysis window, so
 	// the two can never silently diverge.
 	scCfg := tracking.DefaultScenarioConfig(e.cfg.Seed)
@@ -557,7 +560,7 @@ func (e *Env) runTracking() (*TrackingResult, error) {
 	if rck != nil {
 		ck = rck
 	}
-	rep, err := an.AnalyzeCheckpointed(sc.History, sc.Target, sc.Start, end, ck, every, resume)
+	rep, err := an.AnalyzeCheckpointed(ctx, sc.History, sc.Target, sc.Start, end, ck, every, resume)
 	if err != nil {
 		return nil, err
 	}
@@ -571,5 +574,5 @@ func (e *Env) runTracking() (*TrackingResult, error) {
 // seed the output is byte-identical at every Workers value and equals
 // the concatenation of every per-experiment subset run.
 func (s *Study) RunAll(w io.Writer) error {
-	return paperRegistry.Run(s.env, nil, w)
+	return paperRegistry.Run(context.Background(), s.env, nil, w)
 }

@@ -31,6 +31,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -439,16 +440,24 @@ func (e *exhaustedError) Error() string {
 // are retried; anything else returns immediately. Exhaustion returns a
 // permanent error that no longer matches Transient.
 func Retry(p RetryPolicy, fn func() error) error {
+	return RetryCtx(context.Background(), p, fn)
+}
+
+// RetryCtx is Retry with a cancellation escape hatch: a cancelled
+// context is permanent — ctx.Err() is returned before the next attempt
+// and is never retried (cancellation is a decision, not weather) — and
+// the backoff sleep aborts the moment ctx is cancelled instead of
+// serving out its exponential wait.
+func RetryCtx(ctx context.Context, p RetryPolicy, fn func() error) error {
 	if p.Attempts < 1 {
 		p.Attempts = 1
-	}
-	sleep := p.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
 	}
 	backoff := p.Backoff
 	var err error
 	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		err = fn()
 		if err == nil || !errors.Is(err, Transient) {
 			return err
@@ -457,9 +466,25 @@ func Retry(p RetryPolicy, fn func() error) error {
 			return &exhaustedError{attempts: p.Attempts, last: err}
 		}
 		if backoff > 0 {
-			sleep(backoff)
+			if p.Sleep != nil {
+				p.Sleep(backoff)
+			} else if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
 			backoff *= 2
 		}
+	}
+}
+
+// sleepCtx waits for d, reporting false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

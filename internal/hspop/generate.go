@@ -1,6 +1,7 @@
 package hspop
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,7 +30,17 @@ type Population struct {
 
 // Generate builds a population from cfg. Generation is deterministic in
 // cfg.Seed.
-func Generate(cfg Config) (*Population, error) {
+//
+// The generation chunk (one build phase over the whole population) is
+// the cancellation unit: ctx is observed between phases, never inside
+// one, so a nil error means a fully consistent population and a
+// ctx.Err() return means the partial population was never published to
+// the caller. Generation has no checkpoint plane — it is cheap to redo
+// relative to the pipelines it feeds — so cancellation simply discards
+// the partial arena.
+//
+//torhs:cancelpoint
+func Generate(ctx context.Context, cfg Config) (*Population, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("hspop: scale %v out of (0,1]", cfg.Scale)
 	}
@@ -49,16 +60,26 @@ func Generate(cfg Config) (*Population, error) {
 	g.svcArena.chunk = estimate
 	g.pageArena.chunk = estimate
 	g.miscPorts = g.pickMiscPorts()
-	g.buildHead()
-	// The head must resolve addresses before the clones can mine the
-	// Silk Road vanity prefix and dedup against the index.
-	g.deriveIdentities()
-	g.buildPhishingClones()
-	g.buildBody()
-	g.deriveIdentities()
-	g.assignCerts()
-	g.assignPopularityTail()
-	g.buildLinkGraph()
+	// Phase order matters: the head must resolve addresses (first
+	// deriveIdentities) before the clones can mine the Silk Road vanity
+	// prefix and dedup against the index, and the body's identities must
+	// resolve before certificates bind to addresses.
+	phases := []func(){
+		g.buildHead,
+		g.deriveIdentities,
+		g.buildPhishingClones,
+		g.buildBody,
+		g.deriveIdentities,
+		g.assignCerts,
+		g.assignPopularityTail,
+		g.buildLinkGraph,
+	}
+	for _, phase := range phases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		phase()
+	}
 	return g.pop, nil
 }
 

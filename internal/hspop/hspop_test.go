@@ -1,6 +1,7 @@
 package hspop
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func testPop(t *testing.T) *Population {
 	t.Helper()
-	pop, err := Generate(TestConfig(1))
+	pop, err := Generate(context.Background(), TestConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,27 +20,27 @@ func testPop(t *testing.T) *Population {
 func TestGenerateRejectsBadConfig(t *testing.T) {
 	cfg := PaperConfig(1)
 	cfg.Scale = 0
-	if _, err := Generate(cfg); err == nil {
+	if _, err := Generate(context.Background(), cfg); err == nil {
 		t.Fatal("scale 0 accepted")
 	}
 	cfg = PaperConfig(1)
 	cfg.Scale = 1.5
-	if _, err := Generate(cfg); err == nil {
+	if _, err := Generate(context.Background(), cfg); err == nil {
 		t.Fatal("scale 1.5 accepted")
 	}
 	cfg = PaperConfig(1)
 	cfg.PhantomRequestFraction = 1.0
-	if _, err := Generate(cfg); err == nil {
+	if _, err := Generate(context.Background(), cfg); err == nil {
 		t.Fatal("phantom fraction 1.0 accepted")
 	}
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a, err := Generate(TestConfig(7))
+	a, err := Generate(context.Background(), TestConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(TestConfig(7))
+	b, err := Generate(context.Background(), TestConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}

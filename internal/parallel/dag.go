@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -116,7 +117,15 @@ func (d *DAG) validate() error {
 // graph-shape error (unknown dependency, cycle) before anything runs, or
 // the first task error. Tasks downstream of a failed task are skipped.
 // Run must be called at most once.
-func (d *DAG) Run() error {
+//
+// Cancelling ctx stops the schedule at task boundaries: tasks that have
+// not yet started record ctx.Err() instead of running (their dependents
+// are skipped like any other failure), tasks already executing are
+// cancelled through the ctx their closure observes, and Run still waits
+// for every in-flight task to return — there are no goroutines left
+// behind, and a task that completed before the cancellation keeps its
+// result.
+func (d *DAG) Run(ctx context.Context) error {
 	if err := d.validate(); err != nil {
 		return err
 	}
@@ -138,9 +147,14 @@ func (d *DAG) Run() error {
 			if n.skipped {
 				return
 			}
-			limit <- struct{}{}
+			select {
+			case limit <- struct{}{}:
+			case <-ctx.Done():
+				n.err = ctx.Err()
+				return
+			}
 			defer func() { <-limit }()
-			n.err = fault.Retry(d.retry, func() error {
+			n.err = fault.RetryCtx(ctx, d.retry, func() error {
 				if err := fault.Hit(fault.SiteTask); err != nil {
 					return err
 				}

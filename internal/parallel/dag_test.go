@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -36,7 +37,7 @@ func TestDAGRespectsDependencies(t *testing.T) {
 	if err := d.Add("d", nil, record("d")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Run(); err != nil {
+	if err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	pos := make(map[string]int, len(order))
@@ -66,7 +67,7 @@ func TestDAGUnknownDependency(t *testing.T) {
 	if err := d.Add("x", []string{"ghost"}, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	err := d.Run()
+	err := d.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Fatalf("unknown dependency not reported: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestDAGCycle(t *testing.T) {
 	if err := d.Add("b", []string{"a"}, func() error { ran = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
-	err := d.Run()
+	err := d.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "cycle") {
 		t.Fatalf("cycle not reported: %v", err)
 	}
@@ -106,7 +107,7 @@ func TestDAGSkipsDownstreamOfFailure(t *testing.T) {
 	if err := d.Add("independent", nil, func() error { sibling.Store(true); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Run(); !errors.Is(err, boom) {
+	if err := d.Run(context.Background()); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if downstream.Load() {
@@ -135,7 +136,7 @@ func TestDAGFirstErrorInAddOrder(t *testing.T) {
 		if err := d.Add("fast", nil, func() error { return second }); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Run(); !errors.Is(err, first) {
+		if err := d.Run(context.Background()); !errors.Is(err, first) {
 			t.Fatalf("err = %v, want first-added task's error", err)
 		}
 	}
@@ -163,7 +164,7 @@ func TestDAGWorkerLimit(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := d.Run(); err != nil {
+	if err := d.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if p := peak.Load(); p > 2 {
@@ -194,7 +195,7 @@ func TestDAGRetriesBoundaryFaultWithoutRerunningTask(t *testing.T) {
 	if err := d.Add("only", nil, func() error { runs.Add(1); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Run(); err != nil {
+	if err := d.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if got := runs.Load(); got != 1 {
@@ -218,7 +219,7 @@ func TestDAGRetryExhaustionIsPermanent(t *testing.T) {
 	if err := d.Add("only", nil, func() error { runs.Add(1); return nil }); err != nil {
 		t.Fatal(err)
 	}
-	err := d.Run()
+	err := d.Run(context.Background())
 	if err == nil {
 		t.Fatal("Run succeeded under a persistent boundary fault")
 	}
@@ -246,7 +247,7 @@ func TestDAGRetriesTransientTaskError(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Run(); err != nil {
+	if err := d.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if got := runs.Load(); got != 2 {

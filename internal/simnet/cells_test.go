@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -72,7 +73,7 @@ func TestCellLevelAttackEndToEnd(t *testing.T) {
 	attack := NewSignatureAttack(target.PermID, dirs, net.GuardPool())
 	attack.EnableCellLevel(30)
 
-	net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	net.DriveWindow(context.Background(), pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
 
 	if attack.SignaturesSent() == 0 {
 		t.Fatal("no signatures sent")

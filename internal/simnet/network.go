@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -629,24 +630,44 @@ func (n *Network) ensureSecrets(start, end time.Time) {
 // per-worker buffers; and the events are replayed to the stats and the
 // observer sequentially in plan order, with the request records routed
 // to the per-directory logs in one batch per directory.
+//
+// The window is the cancellation unit: ctx is checked on entry and
+// while the plan is drawn, before any descriptor store or directory log
+// mutates. Once the fetch fan-out starts the window runs to completion,
+// so a nil error means the window's effects are fully applied and a
+// ctx.Err() return means the network state is exactly as it was —
+// cancelled windows can always be replayed.
+//
+//torhs:cancelpoint
 func (n *Network) DriveWindow(
+	ctx context.Context,
 	pop *hspop.Population,
 	start time.Time,
 	window time.Duration,
 	observer func(FetchEvent),
-) TrafficStats {
+) (TrafficStats, error) {
 	// The window boundary is a fault site (crash/slow only: the method
-	// has no error return, so transient errors cannot surface here).
+	// surfaces no transient errors — its only error is cancellation).
 	fault.MustHit(fault.SiteSimWindow)
 
 	var out TrafficStats
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
-	// Phase 1: draw the plan sequentially from the network RNG.
+	// Phase 1: draw the plan sequentially from the network RNG. The RNG
+	// draws must complete once started (a partial draw would desync the
+	// sequential stream), so cancellation is observed between services,
+	// before the plan seed is drawn and any state below is touched.
 	planPtr := grabSlice[planEntry](&planPool, 4096)
 	defer planPool.Put(planPtr)
 	plan := *planPtr
 	realTotal := 0
 	for _, svc := range pop.PopularServices() {
+		if err := ctx.Err(); err != nil {
+			*planPtr = plan
+			return out, err
+		}
 		c := stats.Poisson(n.rng, svc.ExpectedRequests)
 		for k := 0; k < c; k++ {
 			plan = append(plan, planEntry{permID: svc.PermID})
@@ -697,7 +718,7 @@ func (n *Network) DriveWindow(
 	}
 	shards := parallel.NumChunks(workers, len(plan))
 	if shards == 0 {
-		return out
+		return out, nil
 	}
 	recsPtr := grabSlice[fetchRec](&recsPool, len(plan))
 	defer recsPool.Put(recsPtr)
@@ -787,7 +808,7 @@ func (n *Network) DriveWindow(
 			}
 		})
 	}
-	return out
+	return out, nil
 }
 
 // mergeWindowStats folds the per-shard traffic tallies of a driven

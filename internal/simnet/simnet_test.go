@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func buildNetwork(t *testing.T, seed int64) (*Network, *hspop.Population, time.T
 		t.Fatal(err)
 	}
 
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestDriveWindowStats(t *testing.T) {
 	net.PublishAll(pop, now)
 
 	var events int
-	st := net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, func(ev FetchEvent) { events++ })
+	st, _ := net.DriveWindow(context.Background(), pop, now.Add(time.Hour), 2*time.Hour, func(ev FetchEvent) { events++ })
 	if st.TotalRequests == 0 {
 		t.Fatal("no requests driven")
 	}
@@ -191,7 +192,7 @@ func TestDirFailureRetriesKeepFetchesWorking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := hspop.Generate(hspop.TestConfig(41))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(41))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSignatureAttackDetectsThroughAttackerGuards(t *testing.T) {
 	guards := net.GuardPool()
 	attack := NewSignatureAttack(target.PermID, dirs, guards)
 
-	st := net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	st, _ := net.DriveWindow(context.Background(), pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
 	if st.TotalRequests == 0 {
 		t.Fatal("no traffic")
 	}
@@ -326,7 +327,7 @@ func TestSignatureAttackPartialGuardControl(t *testing.T) {
 	attackerGuards := pool[:len(pool)/5]
 	attack := NewSignatureAttack(target.PermID, dirs, attackerGuards)
 
-	net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	net.DriveWindow(context.Background(), pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
 	sent := attack.SignaturesSent()
 	det := len(attack.Detections())
 	if sent == 0 {
@@ -354,7 +355,7 @@ func TestSignatureAttackIgnoresOtherServices(t *testing.T) {
 	}
 	dirs := net.Ring().ResponsibleForServiceAt(dark.PermID, now)
 	attack := NewSignatureAttack(dark.PermID, dirs, net.GuardPool())
-	net.DriveWindow(pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
+	net.DriveWindow(context.Background(), pop, now.Add(time.Hour), 2*time.Hour, attack.Observe)
 	if attack.SignaturesSent() != 0 {
 		t.Fatalf("signatures sent for traffic-less service: %d", attack.SignaturesSent())
 	}

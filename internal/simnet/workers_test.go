@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func driveOnce(t *testing.T, seed int64, workers int) (TrafficStats, []FetchEven
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop, err := hspop.Generate(hspop.TestConfig(seed))
+	pop, err := hspop.Generate(context.Background(), hspop.TestConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func driveOnce(t *testing.T, seed int64, workers int) (TrafficStats, []FetchEven
 	net.PublishAll(pop, now)
 
 	var events []FetchEvent
-	stats := net.DriveWindow(pop, now, 2*time.Hour, func(ev FetchEvent) {
+	stats, _ := net.DriveWindow(context.Background(), pop, now, 2*time.Hour, func(ev FetchEvent) {
 		events = append(events, ev)
 	})
 	return stats, events
