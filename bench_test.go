@@ -8,7 +8,9 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -357,7 +359,20 @@ func benchStudyConfig(seed int64, workers int) experiments.Config {
 // windows cadence 1 measures the filesystem, not the study (~35% here,
 // negligible at paper scale where windows are seconds). See
 // EXPERIMENTS.md.
+//
+// Every ladder rung reports an "efficiency" metric — parallel efficiency
+// t1/(w·tw) against the workers=1 rung of the same invocation — so CI's
+// efficiency gate reads one pre-computed, suffix-stable number per rung
+// instead of re-deriving the ratio from ns/op columns (which broke for
+// workers=all, whose worker count is the runner's CPU width and not
+// recoverable from the benchmark name).
 func BenchmarkFullStudy(b *testing.B) {
+	// refPerOp carries the workers=1 per-op time across the ladder; the
+	// rungs run in slice order, so it is always set (from the rung's
+	// largest-b.N invocation) before any wider rung reads it. It stays
+	// zero — and the metric is skipped — only under a -bench filter that
+	// deselects the workers=1 rung.
+	var refPerOp float64
 	for _, bc := range []struct {
 		name    string
 		workers int
@@ -380,6 +395,18 @@ func BenchmarkFullStudy(b *testing.B) {
 				if err := study.RunAll(io.Discard); err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed()) / float64(b.N)
+			if bc.workers == 1 {
+				refPerOp = perOp
+			}
+			w := bc.workers
+			if w == 0 {
+				w = runtime.NumCPU()
+			}
+			if refPerOp > 0 && perOp > 0 {
+				b.ReportMetric(refPerOp/(float64(w)*perOp), "efficiency")
 			}
 		})
 	}
@@ -410,6 +437,64 @@ func BenchmarkFullStudy(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkStreamingStudy runs the full study with the streaming
+// pipeline armed — compact request logs, the windowed consensus ring,
+// demand-sized population arenas — and holds it to a working-set
+// budget: the peak live heap sampled across the run must stay under
+// streamPeakBudget. The bytes/op and allocs/op columns (b.ReportAllocs)
+// track total allocation churn; the reported "peak-live-MB" metric is
+// the bounded-RSS number the streaming tentpole exists to pin. The
+// budget is deliberately generous (the bench-scale working set measures
+// ~tens of MB): it catches a kernel silently re-materialising the time
+// axis, not allocator noise.
+func BenchmarkStreamingStudy(b *testing.B) {
+	const streamPeakBudget = 512 << 20 // bytes of live heap
+	b.ReportAllocs()
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Sampled, not exact: ReadMemStats stops the world, so the
+		// cadence trades precision against benchmark distortion.
+		var ms runtime.MemStats
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if cur := ms.HeapAlloc; cur > peak.Load() {
+					peak.Store(cur)
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchStudyConfig(int64(i), 0)
+		cfg.Stream = true
+		study, err := experiments.NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := study.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(peak.Load())/(1<<20), "peak-live-MB")
+	if peak.Load() > streamPeakBudget {
+		b.Fatalf("streaming study peak live heap %d MB exceeds the %d MB budget",
+			peak.Load()>>20, int64(streamPeakBudget)>>20)
 	}
 }
 

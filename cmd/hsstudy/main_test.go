@@ -167,3 +167,53 @@ func TestCLIHelpIsNotAnError(t *testing.T) {
 		t.Fatal("bogus flag accepted")
 	}
 }
+
+// TestCLIStreamMatchesMaterialized: -stream renders the exact bytes of
+// the default materialized run (the CLI face of the streaming
+// equivalence contract), and -window-ring rejects negative sizes.
+func TestCLIStreamMatchesMaterialized(t *testing.T) {
+	var mat, streamed bytes.Buffer
+	if err := run(cliArgs(), &mat); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cliArgs("-stream", "-window-ring", "2"), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if streamed.String() != mat.String() {
+		t.Fatalf("-stream output differs from materialized run:\n--- materialized ---\n%s\n--- streamed ---\n%s",
+			mat.String(), streamed.String())
+	}
+	if err := run(cliArgs("-stream", "-window-ring", "-1"), new(bytes.Buffer)); err == nil {
+		t.Fatal("negative -window-ring accepted")
+	}
+}
+
+// TestCLIGC: -gc sweeps orphans out of the -out store, reports the
+// stats, and requires the store flag.
+func TestCLIGC(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(cliArgs("-out", dir), new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run at a different seed under the same scenario slot: the index
+	// entry rebinds and the first run's objects become orphans.
+	args := cliArgs("-out", dir)
+	for i, a := range args {
+		if a == "3" && args[i-1] == "-seed" {
+			args[i] = "4"
+		}
+	}
+	if err := run(args, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-gc", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "orphans removed") {
+		t.Fatalf("-gc output %q missing the stats line", out.String())
+	}
+	if err := run([]string{"-gc"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("-gc without -out accepted")
+	}
+}

@@ -1,4 +1,4 @@
-// Package analysis is torhs's static-analysis suite: six repo-specific
+// Package analysis is torhs's static-analysis suite: repo-specific
 // analyzers that prove the codebase's load-bearing contracts at compile
 // time, plus the package loader and directive machinery that drive them.
 //
@@ -25,6 +25,10 @@
 //     their per-shard partial-result slice in ascending shard index
 //     order — the order that makes a contiguous-chunk merge reproduce
 //     the sequential result byte for byte.
+//   - windowring: deterministic packages never let a long-lived struct
+//     field accumulate consensus documents without an audited
+//     //torhs:retained exemption — the streaming pipeline's bounded
+//     working set depends on retired windows becoming garbage.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer
 // / Pass / Diagnostic) so the suite can migrate to the upstream
@@ -96,7 +100,7 @@ func (p *Pass) Position(pos token.Pos) token.Position {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite, ShardMerge, CtxFlow}
+	return []*Analyzer{DetOrder, DetRand, HotAlloc, CacheKey, FaultSite, ShardMerge, CtxFlow, WindowRing}
 }
 
 // byName resolves an analyzer name; used to validate ignore directives.

@@ -31,6 +31,11 @@ import (
 //	                                     takes a context and must check
 //	                                     ctx.Err()/ctx.Done() inside its
 //	                                     outermost loop
+//	//torhs:retained <reason>            (struct field) the field
+//	                                     deliberately retains consensus
+//	                                     documents past a streaming fold;
+//	                                     the reason must say why the
+//	                                     retention is bounded
 const (
 	dirIgnore           = "ignore"
 	dirHotPath          = "hotpath"
@@ -39,6 +44,7 @@ const (
 	dirFaultSite        = "faultsite"
 	dirShardMerge       = "shardmerge"
 	dirCancelPoint      = "cancelpoint"
+	dirRetained         = "retained"
 )
 
 // directivePrefix introduces every torhs directive comment.
@@ -108,10 +114,10 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, [
 					continue
 				}
 				switch d.kind {
-				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite, dirShardMerge, dirCancelPoint:
+				case dirHotPath, dirNoCacheKey, dirOrderInsensitive, dirFaultSite, dirShardMerge, dirCancelPoint, dirRetained:
 					// Positional; consumed by hotalloc / cachekey /
-					// detorder / faultsite / shardmerge / ctxflow
-					// respectively.
+					// detorder / faultsite / shardmerge / ctxflow /
+					// windowring respectively.
 				case dirIgnore:
 					analyzer, reason, _ := strings.Cut(d.args, " ")
 					reason = strings.TrimSpace(reason)

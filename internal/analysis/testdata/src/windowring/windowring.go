@@ -1,0 +1,54 @@
+// Package tracking is the windowring golden fixture. The package name
+// puts it in the deterministic-package scope; the directory name says
+// what it tests.
+package tracking
+
+import "torhs/internal/consensus"
+
+// ring retains documents with an audited, reasoned directive: clean.
+type ring struct {
+	//torhs:retained sliding window ring; at most K live by construction
+	buf []*consensus.Document
+}
+
+// hoarder accumulates documents with no directive.
+type hoarder struct {
+	docs []*consensus.Document // want "hoarder.docs can hold consensus documents past the window fold"
+}
+
+// memoCache reaches a document through a generic type argument.
+type box[T any] struct{ v T }
+
+type memoCache struct {
+	byDay map[int64]*box[*consensus.Document] // want "memoCache.byDay can hold consensus documents past the window fold"
+}
+
+// nested reaches a document through an anonymous struct and a channel.
+type nested struct {
+	inner struct { // want "nested.inner can hold consensus documents past the window fold"
+		ch chan *consensus.Document
+	}
+}
+
+// reasonless has the directive but no bounding argument.
+type reasonless struct {
+	//torhs:retained
+	doc *consensus.Document // want "needs a reason saying why the retention is bounded"
+}
+
+// stale exempts a field that cannot hold a document.
+type stale struct {
+	//torhs:retained left over from a refactor
+	n int // want "carries //torhs:retained but cannot hold a consensus document"
+}
+
+// history holds documents only behind a named abstraction's underlying
+// structure: the walk stops at the named type, so this is clean.
+type history struct {
+	h *consensus.History
+}
+
+// trailing uses the trailing-comment directive placement: clean.
+type trailing struct {
+	doc *consensus.Document //torhs:retained the per-step window; dropped with the step
+}

@@ -1,0 +1,7 @@
+// Package tracking is the windowring misplaced-directive fixture: a
+// retained directive that documents anything but a struct field is
+// reported on its own line, where a want comment cannot sit.
+package tracking
+
+//torhs:retained this documents a function, not a struct field
+func Retained() int { return 1 }

@@ -78,13 +78,32 @@ type Scenario struct {
 const minedLead = 2
 
 // BuildScenario runs the relay network for cfg.Days days and plants the
-// three tracking episodes.
+// three tracking episodes, materializing the full consensus history.
 func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
+	sc, sim, hook, err := newScenarioRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := sim.Run(hook)
+	if err != nil {
+		return nil, fmt.Errorf("tracking: %w", err)
+	}
+	sc.History = h
+	return sc, nil
+}
+
+// newScenarioRun validates cfg, builds the simulation with the planted
+// tracker fleets registered, and returns the scenario ground truth
+// (History nil) plus the ready-to-run sim and day hook. Everything is
+// derived from cfg.Seed, so two calls with the same cfg produce sims
+// whose stepped document sequences are byte-identical — the property the
+// streaming source's rewind-by-rebuild relies on.
+func newScenarioRun(cfg ScenarioConfig) (*Scenario, *relaynet.Sim, relaynet.DayHook, error) {
 	if cfg.Days < cfg.TakeoverDay+1 || cfg.Days < cfg.BandEnd {
-		return nil, fmt.Errorf("tracking: scenario days %d too short for episodes", cfg.Days)
+		return nil, nil, nil, fmt.Errorf("tracking: scenario days %d too short for episodes", cfg.Days)
 	}
 	if cfg.BandStart <= 0 || cfg.BandEnd <= cfg.BandStart {
-		return nil, fmt.Errorf("tracking: band [%d,%d) invalid", cfg.BandStart, cfg.BandEnd)
+		return nil, nil, nil, fmt.Errorf("tracking: band [%d,%d) invalid", cfg.BandStart, cfg.BandEnd)
 	}
 
 	fleet := relaynet.FleetConfig{
@@ -98,7 +117,7 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 	}
 	sim, err := relaynet.NewSim(fleet)
 	if err != nil {
-		return nil, fmt.Errorf("tracking: %w", err)
+		return nil, nil, nil, fmt.Errorf("tracking: %w", err)
 	}
 	rng := sim.RNG()
 
@@ -194,10 +213,104 @@ func BuildScenario(cfg ScenarioConfig) (*Scenario, error) {
 		}
 	}
 
-	h, err := sim.Run(hook)
-	if err != nil {
-		return nil, fmt.Errorf("tracking: %w", err)
+	return sc, sim, hook, nil
+}
+
+// DefaultWindowRing is the sliding-ring capacity a streaming tracking
+// analysis uses when the caller does not choose one. The sweep is a pure
+// left fold, so a single live document would suffice; a few slots absorb
+// the (rare) short backward re-reads without a rebuild.
+const DefaultWindowRing = 4
+
+// ScenarioSource is a streaming DocSource over the planted-tracker
+// scenario: consensus documents are derived one day at a time from
+// cfg.Seed through relaynet.Sim.StepDay and held in a sliding ring of at
+// most ring live documents. Memory stays flat in cfg.Days — the
+// full History is never materialized. Reading backward past the ring
+// rebuilds the simulation from seed and replays forward (documents are
+// re-derived, not stored), which is exactly how sweep shards and
+// checkpoint resumes rewind.
+//
+// The document sequence is byte-identical to BuildScenario's archived
+// history for the same cfg. Not safe for concurrent use; sweep shards
+// each take their own replica via Clone.
+type ScenarioSource struct {
+	cfg  ScenarioConfig
+	ring int
+	sim  *relaynet.Sim
+	hook relaynet.DayHook
+	// buf is the bounded sliding ring itself: buf[j] is document
+	// base+j, len(buf) <= ring.
+	//
+	//torhs:retained the sliding window ring; holds at most ring live documents by construction
+	buf  []*consensus.Document
+	base int
+}
+
+// NewScenarioSource builds the scenario simulation without running it
+// and returns the ground truth (History nil — the streamed documents are
+// never archived) plus the streaming source. ring <= 0 selects
+// DefaultWindowRing.
+func NewScenarioSource(cfg ScenarioConfig, ring int) (*Scenario, *ScenarioSource, error) {
+	if ring <= 0 {
+		ring = DefaultWindowRing
 	}
-	sc.History = h
-	return sc, nil
+	sc, sim, hook, err := newScenarioRun(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, &ScenarioSource{cfg: cfg, ring: ring, sim: sim, hook: hook}, nil
+}
+
+// Len returns the number of documents in the window (one per day).
+func (s *ScenarioSource) Len() int { return s.cfg.Days }
+
+// Ring returns the ring capacity (the live-document bound K).
+func (s *ScenarioSource) Ring() int { return s.ring }
+
+// Clone returns an independent replica of the source positioned at day
+// zero; its simulation is rebuilt from seed on first use. Sweep shards
+// clone so each folds its own ring.
+func (s *ScenarioSource) Clone() DocSource {
+	return &ScenarioSource{cfg: s.cfg, ring: s.ring}
+}
+
+// rebuild re-derives the simulation from seed and empties the ring.
+func (s *ScenarioSource) rebuild() error {
+	_, sim, hook, err := newScenarioRun(s.cfg)
+	if err != nil {
+		return err
+	}
+	s.sim, s.hook = sim, hook
+	s.buf = s.buf[:0]
+	s.base = 0
+	return nil
+}
+
+// At returns document i, stepping the simulation forward as needed and
+// recycling the oldest ring slot once the ring is full. Asking for a
+// document older than the ring replays from seed.
+func (s *ScenarioSource) At(i int) (*consensus.Document, error) {
+	if i < 0 || i >= s.cfg.Days {
+		return nil, fmt.Errorf("tracking: scenario source day %d out of [0,%d)", i, s.cfg.Days)
+	}
+	if s.sim == nil || i < s.base {
+		if err := s.rebuild(); err != nil {
+			return nil, err
+		}
+	}
+	for s.base+len(s.buf) <= i {
+		doc, err := s.sim.StepDay(s.hook)
+		if err != nil {
+			return nil, err
+		}
+		if len(s.buf) < s.ring {
+			s.buf = append(s.buf, doc)
+		} else {
+			copy(s.buf, s.buf[1:])
+			s.buf[len(s.buf)-1] = doc
+			s.base++
+		}
+	}
+	return s.buf[i-s.base], nil
 }

@@ -355,6 +355,38 @@ func (a *Analyzer) Analyze(ctx context.Context, h *consensus.History, target oni
 	return a.AnalyzeCheckpointed(ctx, h, target, from, to, nil, 0, false)
 }
 
+// DocSource hands out the consensus documents of one analysis window in
+// ascending ValidAfter order. It is the seam between the sweep (a pure
+// left fold, document at a time) and where the documents come from: a
+// materialized History slice, or a streaming source that re-derives
+// windows from seed through a bounded sliding ring (ScenarioSource).
+// Sequential access is O(1) for every implementation; rewinding a
+// streaming source replays from seed.
+//
+// Sources that must not be shared across sweep shards implement
+// Clone() DocSource; each shard then folds its own replica.
+type DocSource interface {
+	// Len returns the number of documents in the window.
+	Len() int
+	// At returns document i. Consumers must not retain the returned
+	// document past their fold of it — a streaming source recycles ring
+	// slots as the window advances (the torhsvet windowring analyzer
+	// audits consumers for retained doc pointers).
+	At(i int) (*consensus.Document, error)
+}
+
+// sliceSource adapts a materialized document slice to DocSource.
+type sliceSource struct {
+	// docs is the fully materialized window, shared read-only by shards.
+	//
+	//torhs:retained the materialized (non-streaming) window itself
+	docs []*consensus.Document
+}
+
+func (s *sliceSource) Len() int { return len(s.docs) }
+
+func (s *sliceSource) At(i int) (*consensus.Document, error) { return s.docs[i], nil }
+
 // AnalyzeCheckpointed is Analyze with window-level crash safety: when
 // ckpt is non-nil the sweep state is snapshotted every `every` consensus
 // documents (<= 0 means every document), and with resume set the sweep
@@ -368,9 +400,8 @@ func (a *Analyzer) Analyze(ctx context.Context, h *consensus.History, target oni
 // fold. A cancelled checkpointed sweep flushes a snapshot of its folded
 // prefix before returning ctx.Err(), so a deliberate stop loses no
 // completed documents and a resume is byte-identical to an
-// uninterrupted analysis.
-//
-//torhs:cancelpoint
+// uninterrupted analysis. (The cancellation loop itself lives in
+// AnalyzeSource, this wrapper's delegate.)
 func (a *Analyzer) AnalyzeCheckpointed(
 	ctx context.Context,
 	h *consensus.History,
@@ -384,6 +415,29 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("tracking: no consensus documents in [%v, %v]", from, to)
 	}
+	return a.AnalyzeSource(ctx, &sliceSource{docs: docs}, target, ckpt, every, resume)
+}
+
+// AnalyzeSource is the sweep over an arbitrary DocSource: the streaming
+// entry point. The report is byte-identical to Analyze over a
+// materialized history yielding the same document sequence, at every
+// worker count, and the checkpoint/resume and cancellation contracts of
+// AnalyzeCheckpointed hold unchanged — the source only changes where
+// documents come from, never what is folded.
+//
+//torhs:cancelpoint
+func (a *Analyzer) AnalyzeSource(
+	ctx context.Context,
+	src DocSource,
+	target onion.PermanentID,
+	ckpt Checkpointer,
+	every int,
+	resume bool,
+) (*Report, error) {
+	n := src.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("tracking: empty document source")
+	}
 
 	// Without a checkpointer the sweep is free to shard: contiguous
 	// document ranges fold in parallel and merge in shard order, which
@@ -391,12 +445,12 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	// sequential path by the determinism tests). Checkpointed analyses
 	// stay sequential — their snapshots are per-document prefixes.
 	if ckpt == nil {
-		if shards := parallel.NumChunks(a.cfg.Workers, len(docs)); shards > 1 {
-			sw, err := a.sweepSharded(ctx, docs, target, shards)
+		if shards := parallel.NumChunks(a.cfg.Workers, n); shards > 1 {
+			sw, err := a.sweepSharded(ctx, src, target, shards)
 			if err != nil {
 				return nil, err
 			}
-			return a.report(sw, docs), nil
+			return a.report(sw, n), nil
 		}
 	}
 
@@ -415,9 +469,9 @@ func (a *Analyzer) AnalyzeCheckpointed(
 			return nil, fmt.Errorf("tracking: resume: %w", err)
 		}
 		if ok {
-			if snap.Docs != w+1 || snap.Docs >= len(docs) {
+			if snap.Docs != w+1 || snap.Docs >= n {
 				return nil, fmt.Errorf("tracking: resume: snapshot covers %d documents under window %d (have %d)",
-					snap.Docs, w, len(docs))
+					snap.Docs, w, n)
 			}
 			sw.restore(&snap)
 			start = snap.Docs
@@ -430,7 +484,7 @@ func (a *Analyzer) AnalyzeCheckpointed(
 	// restored prefix on resume, nothing otherwise); the cancellation
 	// flush only writes when the fold advanced past it.
 	lastSaved := start - 1
-	for i := start; i < len(docs); i++ {
+	for i := start; i < n; i++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if ckpt != nil && i-1 > lastSaved {
 				// The run is already cancelled; the flush must still
@@ -446,35 +500,47 @@ func (a *Analyzer) AnalyzeCheckpointed(
 		if err := fault.Hit(fault.SiteTrackingWindow); err != nil {
 			return nil, fmt.Errorf("tracking: window %d: %w", i, err)
 		}
-		sw.observeDoc(docs[i], target)
+		doc, err := src.At(i)
+		if err != nil {
+			return nil, fmt.Errorf("tracking: window %d: source: %w", i, err)
+		}
+		sw.observeDoc(doc, target)
 		// Snapshot after the document folds; the final document is not
 		// snapshotted — the report follows immediately and the caller
 		// clears the set on success.
-		if ckpt != nil && i < len(docs)-1 && (i+1)%every == 0 {
+		if ckpt != nil && i < n-1 && (i+1)%every == 0 {
 			if err := ckpt.Save(ctx, i, sw.snapshot(i+1)); err != nil {
 				return nil, fmt.Errorf("tracking: window %d: checkpoint: %w", i, err)
 			}
 			lastSaved = i
 		}
 	}
-	return a.report(&sw, docs), nil
+	return a.report(&sw, n), nil
 }
 
-// sweepSharded folds docs through per-shard private sweeps over
-// contiguous document ranges and merges them in shard order. The fault
-// site still fires once per document, and every shard observes ctx at
-// its document boundaries; when several shards trip either, the error
-// of the lowest document index wins — the one the sequential sweep
-// would have hit first (cancellation surfaces as ctx.Err() whichever
-// shard noticed it, so the report is deterministic).
-func (a *Analyzer) sweepSharded(ctx context.Context, docs []*consensus.Document, target onion.PermanentID, shards int) (*sweep, error) {
+// sweepSharded folds the source through per-shard private sweeps over
+// contiguous document ranges and merges them in shard order. A source
+// implementing Clone() DocSource gives each shard its own replica (a
+// streaming source replays its range from seed); other sources are
+// shared read-only. The fault site still fires once per document, and
+// every shard observes ctx at its document boundaries; when several
+// shards trip either, the error of the lowest document index wins — the
+// one the sequential sweep would have hit first (cancellation surfaces
+// as ctx.Err() whichever shard noticed it, so the report is
+// deterministic).
+func (a *Analyzer) sweepSharded(ctx context.Context, src DocSource, target onion.PermanentID, shards int) (*sweep, error) {
 	sweeps := make([]sweep, shards)
 	type shardFail struct {
 		doc int
 		err error
 	}
 	fails := make([]shardFail, shards)
-	parallel.Chunks(shards, len(docs), func(shard, lo, hi int) {
+	cloner, _ := src.(interface{ Clone() DocSource })
+	parallel.Chunks(shards, src.Len(), func(shard, lo, hi int) {
+		shardSrc := src
+		if cloner != nil {
+			shardSrc = cloner.Clone()
+		}
 		sw := &sweeps[shard]
 		sw.a = a
 		sw.respBuf = make([]onion.Fingerprint, 0, onion.SpreadPerReplica)
@@ -487,7 +553,12 @@ func (a *Analyzer) sweepSharded(ctx context.Context, docs []*consensus.Document,
 				fails[shard] = shardFail{doc: i, err: fmt.Errorf("tracking: window %d: %w", i, err)}
 				return
 			}
-			sw.observeDoc(docs[i], target)
+			doc, err := shardSrc.At(i)
+			if err != nil {
+				fails[shard] = shardFail{doc: i, err: fmt.Errorf("tracking: window %d: source: %w", i, err)}
+				return
+			}
+			sw.observeDoc(doc, target)
 		}
 	})
 	failDoc, failErr := -1, error(nil)
@@ -502,12 +573,14 @@ func (a *Analyzer) sweepSharded(ctx context.Context, docs []*consensus.Document,
 	return mergeSweeps(sweeps), nil
 }
 
-// report runs the wrap-up over a finished sweep: thresholds, per-relay
-// occurrence carving, rule judging, ordering, episode clustering.
-func (a *Analyzer) report(sw *sweep, docs []*consensus.Document) *Report {
+// report runs the wrap-up over a finished sweep of n documents:
+// thresholds, per-relay occurrence carving, rule judging, ordering,
+// episode clustering. The window bounds come from the sweep's own
+// first/last ValidAfter observations, captured during the fold — a
+// streaming source's documents are already gone by wrap-up time.
+func (a *Analyzer) report(sw *sweep, n int) *Report {
 	states, totalHSDirs, occs, occStates := &sw.states, sw.totalHSDirs, sw.occs, sw.occStates
 
-	n := len(docs)
 	meanHSDirs := float64(totalHSDirs) / float64(n)
 	binom := stats.Binomial{
 		N: n,
@@ -516,8 +589,8 @@ func (a *Analyzer) report(sw *sweep, docs []*consensus.Document) *Report {
 	threshold := binom.OutlierThreshold(a.cfg.SigmaK)
 
 	rep := &Report{
-		From:       docs[0].ValidAfter,
-		To:         docs[len(docs)-1].ValidAfter,
+		From:       sw.firstVA,
+		To:         sw.lastVA,
 		Days:       n,
 		MeanHSDirs: meanHSDirs,
 	}
@@ -586,6 +659,12 @@ func mergeSweeps(sweeps []sweep) *sweep {
 	for i := 1; i < len(sweeps); i++ {
 		src := &sweeps[i]
 		dst.totalHSDirs += src.totalHSDirs
+		if dst.firstVA.IsZero() {
+			dst.firstVA = src.firstVA
+		}
+		if !src.lastVA.IsZero() {
+			dst.lastVA = src.lastVA
+		}
 		for _, sst := range src.states.all {
 			mergeRelayState(dst.states.get(sst.report.RelayID), sst)
 		}
@@ -717,6 +796,10 @@ type sweep struct {
 	occs        []Occurrence
 	occStates   []*relayState
 	respBuf     []onion.Fingerprint
+	// firstVA / lastVA bound the folded documents' ValidAfter instants —
+	// the report's From/To — captured during the fold so the wrap-up
+	// never needs the (possibly already recycled) documents themselves.
+	firstVA, lastVA time.Time
 }
 
 // sweepSnapshot is the serializable form of a sweep after Docs folded
@@ -727,9 +810,11 @@ type sweep struct {
 type sweepSnapshot struct {
 	Docs        int
 	TotalHSDirs int
-	Occs        []Occurrence
-	OccOwners   []int
-	States      []relaySnap
+	// FirstVA / LastVA carry the folded prefix's window bounds.
+	FirstVA, LastVA time.Time
+	Occs            []Occurrence
+	OccOwners       []int
+	States          []relaySnap
 }
 
 // relaySnap serializes one relayState (gob needs exported fields).
@@ -787,6 +872,8 @@ func (sw *sweep) snapshot(docs int) *sweepSnapshot {
 	return &sweepSnapshot{
 		Docs:        docs,
 		TotalHSDirs: sw.totalHSDirs,
+		FirstVA:     sw.firstVA,
+		LastVA:      sw.lastVA,
 		Occs:        sw.occs,
 		OccOwners:   owners,
 		States:      states,
@@ -798,6 +885,8 @@ func (sw *sweep) snapshot(docs int) *sweepSnapshot {
 // the wrap-up's creation-order walk) line up exactly.
 func (sw *sweep) restore(snap *sweepSnapshot) {
 	sw.totalHSDirs = snap.TotalHSDirs
+	sw.firstVA = snap.FirstVA
+	sw.lastVA = snap.LastVA
 	for i := range snap.States {
 		ss := &snap.States[i]
 		st := sw.states.get(ss.Report.RelayID)
@@ -836,6 +925,13 @@ func (sw *sweep) restore(snap *sweepSnapshot) {
 //
 //torhs:hotpath
 func (sw *sweep) observeDoc(doc *consensus.Document, target onion.PermanentID) {
+	// Window bounds are captured before the empty-HSDir early return:
+	// every folded document widens the report's [From, To], whether or
+	// not it contributed responsibilities.
+	if sw.firstVA.IsZero() {
+		sw.firstVA = doc.ValidAfter
+	}
+	sw.lastVA = doc.ValidAfter
 	hsdirFPs := doc.HSDirs()
 	if len(hsdirFPs) == 0 {
 		return

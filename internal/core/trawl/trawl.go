@@ -51,8 +51,14 @@ type Snapshot struct {
 	PermIDs         map[onion.Address]onion.PermanentID
 	DescriptorsSeen int
 	StepCoverage    []float64
-	// Requests is the merged request log in original append order.
+	// Requests is the merged request log in original append order (nil
+	// for compact-log runs, whose raw records were retired on arrival).
 	Requests []hsdir.Request
+	// LogCounts / LogTotal / LogFound carry the merged log's aggregate
+	// state for compact-log runs (hsdir.RequestLog.CompactState form).
+	LogCounts map[onion.DescriptorID]int
+	LogTotal  int
+	LogFound  int
 	// PublishedIDs / RequestedPublished are the cross-step descriptor-ID
 	// sets behind PublishedIDsSeen / RequestedPublishedIDs.
 	PublishedIDs       map[onion.DescriptorID]bool
@@ -101,6 +107,14 @@ type Config struct {
 	// Resume restores the latest valid snapshot from Checkpoint and
 	// continues from the following step instead of starting at step 0.
 	Resume bool
+	// CompactLogs runs the streaming pipeline's per-window log
+	// retirement: every per-step directory log and the merged harvest
+	// log fold requests into per-descriptor-ID counts on arrival instead
+	// of retaining raw records, bounding log memory by distinct IDs
+	// rather than request volume. All aggregate harvest outputs (and the
+	// rendered experiments) are byte-identical; only Harvest.Log's raw
+	// Requests() reads become nil.
+	CompactLogs bool
 }
 
 // DefaultConfig mirrors the paper's deployment at simulation scale.
@@ -257,6 +271,9 @@ func (t *Trawler) Run(
 		Start:     attackStart,
 		End:       attackStart.Add(time.Duration(t.cfg.Steps) * t.cfg.StepLen),
 	}
+	if t.cfg.CompactLogs {
+		h.Log = hsdir.NewCompactLog()
+	}
 
 	published := pop.WithDescriptor()
 	publishedIDs := make(map[onion.DescriptorID]bool)
@@ -287,9 +304,15 @@ func (t *Trawler) Run(
 			if snap.RequestedPublished != nil {
 				requestedPublished = snap.RequestedPublished
 			}
-			// Requests restore in original append order, so every
-			// order-dependent downstream read is unchanged.
-			h.Log.RecordBatch(snap.Requests)
+			if snap.LogCounts != nil {
+				// Compact snapshot: the aggregate log state restores
+				// exactly (raw records were retired before the save).
+				h.Log.RestoreCompact(snap.LogCounts, snap.LogTotal, snap.LogFound)
+			} else {
+				// Requests restore in original append order, so every
+				// order-dependent downstream read is unchanged.
+				h.Log.RecordBatch(snap.Requests)
+			}
 		}
 	}
 	ckptEvery := t.cfg.CheckpointEvery
@@ -301,23 +324,30 @@ func (t *Trawler) Run(
 	// fresh run). The cancellation flush only writes when the
 	// accumulators have advanced past it.
 	lastSaved := startStep - 1
-	flush := func(step int) error {
-		if t.cfg.Checkpoint == nil || step <= lastSaved || step < 0 {
-			return nil
-		}
+	makeSnap := func(step int) *Snapshot {
 		snap := &Snapshot{
 			Step:               step,
 			Addresses:          h.Addresses,
 			PermIDs:            h.PermIDs,
 			DescriptorsSeen:    h.DescriptorsSeen,
 			StepCoverage:       h.StepCoverage,
-			Requests:           h.Log.Requests(),
 			PublishedIDs:       publishedIDs,
 			RequestedPublished: requestedPublished,
 		}
+		if h.Log.Compacted() {
+			snap.LogCounts, snap.LogTotal, snap.LogFound = h.Log.CompactState()
+		} else {
+			snap.Requests = h.Log.Requests()
+		}
+		return snap
+	}
+	flush := func(step int) error {
+		if t.cfg.Checkpoint == nil || step <= lastSaved || step < 0 {
+			return nil
+		}
 		// The run is already cancelled; the flush must still land, so it
 		// gets a context that keeps ctx's values but not its cancel.
-		if err := t.cfg.Checkpoint.Save(context.WithoutCancel(ctx), step, snap); err != nil {
+		if err := t.cfg.Checkpoint.Save(context.WithoutCancel(ctx), step, makeSnap(step)); err != nil {
 			return fmt.Errorf("trawl: step %d: cancel flush: %w", step, err)
 		}
 		lastSaved = step
@@ -348,6 +378,7 @@ func (t *Trawler) Run(
 		cfg.Seed = cfg.Seed*1000003 + int64(step) // fresh but deterministic per step
 		cfg.Workers = t.cfg.Workers
 		cfg.SecretTable = t.cfg.SecretTable
+		cfg.CompactLogs = t.cfg.CompactLogs
 		net, err := simnet.NewNetwork(doc, db, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("trawl: step %d: %w", step, err)
@@ -391,17 +422,7 @@ func (t *Trawler) Run(
 		// step is not snapshotted: the run finishes immediately after and
 		// the caller clears the set on success.
 		if t.cfg.Checkpoint != nil && step < t.cfg.Steps-1 && (step+1)%ckptEvery == 0 {
-			snap := &Snapshot{
-				Step:               step,
-				Addresses:          h.Addresses,
-				PermIDs:            h.PermIDs,
-				DescriptorsSeen:    h.DescriptorsSeen,
-				StepCoverage:       h.StepCoverage,
-				Requests:           h.Log.Requests(),
-				PublishedIDs:       publishedIDs,
-				RequestedPublished: requestedPublished,
-			}
-			if err := t.cfg.Checkpoint.Save(ctx, step, snap); err != nil {
+			if err := t.cfg.Checkpoint.Save(ctx, step, makeSnap(step)); err != nil {
 				return nil, fmt.Errorf("trawl: step %d: checkpoint: %w", step, err)
 			}
 			lastSaved = step
@@ -492,4 +513,79 @@ func (h *Harvest) RequestedPublishedFraction() float64 {
 		return 0
 	}
 	return float64(h.RequestedPublishedIDs) / float64(h.PublishedIDsSeen)
+}
+
+// HarvestState is the serializable (gob) form of a completed Harvest —
+// the intermediate artefact the experiments layer spills to the result
+// store so re-runs and sweeps sharing a harvest stage are cache hits.
+// Round-tripping through it reconstructs every aggregate the downstream
+// pipelines read; raw request records survive only for raw-mode logs.
+type HarvestState struct {
+	Addresses             map[onion.Address]bool
+	PermIDs               map[onion.Address]onion.PermanentID
+	DescriptorsSeen       int
+	StepCoverage          []float64
+	PublishedIDsSeen      int
+	RequestedPublishedIDs int
+	CollectedFraction     float64
+	Start, End            time.Time
+	// Requests is the raw merged log (raw mode); Compact runs carry the
+	// aggregate state instead.
+	Requests  []hsdir.Request
+	Compact   bool
+	LogCounts map[onion.DescriptorID]int
+	LogTotal  int
+	LogFound  int
+}
+
+// State captures the harvest's serializable form.
+func (h *Harvest) State() *HarvestState {
+	st := &HarvestState{
+		Addresses:             h.Addresses,
+		PermIDs:               h.PermIDs,
+		DescriptorsSeen:       h.DescriptorsSeen,
+		StepCoverage:          h.StepCoverage,
+		PublishedIDsSeen:      h.PublishedIDsSeen,
+		RequestedPublishedIDs: h.RequestedPublishedIDs,
+		CollectedFraction:     h.CollectedFraction,
+		Start:                 h.Start,
+		End:                   h.End,
+	}
+	if h.Log != nil {
+		if h.Log.Compacted() {
+			st.Compact = true
+			st.LogCounts, st.LogTotal, st.LogFound = h.Log.CompactState()
+		} else {
+			st.Requests = h.Log.Requests()
+		}
+	}
+	return st
+}
+
+// HarvestFromState reconstructs a Harvest from its serializable form.
+func HarvestFromState(st *HarvestState) *Harvest {
+	h := &Harvest{
+		Addresses:             st.Addresses,
+		PermIDs:               st.PermIDs,
+		DescriptorsSeen:       st.DescriptorsSeen,
+		StepCoverage:          st.StepCoverage,
+		PublishedIDsSeen:      st.PublishedIDsSeen,
+		RequestedPublishedIDs: st.RequestedPublishedIDs,
+		CollectedFraction:     st.CollectedFraction,
+		Start:                 st.Start,
+		End:                   st.End,
+		Log:                   hsdir.NewRequestLog(),
+	}
+	if h.Addresses == nil {
+		h.Addresses = make(map[onion.Address]bool)
+	}
+	if h.PermIDs == nil {
+		h.PermIDs = make(map[onion.Address]onion.PermanentID)
+	}
+	if st.Compact {
+		h.Log.RestoreCompact(st.LogCounts, st.LogTotal, st.LogFound)
+	} else {
+		h.Log.RecordBatch(st.Requests)
+	}
+	return h
 }

@@ -30,6 +30,7 @@ const (
 	crashSelectEnv  = "TORHS_CRASH_SELECT"  // experiment selector
 	crashWorkersEnv = "TORHS_CRASH_WORKERS" // worker count
 	crashResumeEnv  = "TORHS_CRASH_RESUME"  // "1": resume from checkpoints
+	crashStreamEnv  = "TORHS_CRASH_STREAM"  // "1": run the streaming pipeline
 )
 
 // crashConfig is the tiny study the matrix runs: big enough that every
@@ -60,7 +61,9 @@ func TestCrashResumeChild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := NewEnv(crashConfig(workers))
+	cfg := crashConfig(workers)
+	cfg.Stream = os.Getenv(crashStreamEnv) == "1"
+	env, err := NewEnv(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +95,9 @@ func parseNames(s string) []string {
 }
 
 // runChild re-execs the test binary into TestCrashResumeChild and
-// returns its exit code and combined output.
-func runChild(t *testing.T, dir, selector string, workers int, faultSpec string, resume bool) (int, string) {
+// returns its exit code and combined output. extraEnv entries (KEY=V)
+// are appended to the child environment.
+func runChild(t *testing.T, dir, selector string, workers int, faultSpec string, resume bool, extraEnv ...string) (int, string) {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashResumeChild$", "-test.count=1")
 	// Pin the child's GOMAXPROCS (dropping any inherited value — the
@@ -117,6 +121,7 @@ func runChild(t *testing.T, dir, selector string, workers int, faultSpec string,
 	if faultSpec != "" {
 		cmd.Env = append(cmd.Env, fault.EnvVar+"="+faultSpec)
 	}
+	cmd.Env = append(cmd.Env, extraEnv...)
 	out, err := cmd.CombinedOutput()
 	if err == nil {
 		return 0, string(out)

@@ -230,7 +230,7 @@ func (r *Registry) Run(ctx context.Context, env *Env, names []string, w io.Write
 // It is part of every result-store cache key, so bumping it invalidates
 // persisted artefacts when an experiment or section builder changes
 // what it emits.
-const OutputVersion = "5"
+const OutputVersion = "6"
 
 // RunOptions parameterises one pipeline invocation.
 type RunOptions struct {
@@ -355,6 +355,9 @@ func (r *Registry) RunStudy(ctx context.Context, env *Env, opts RunOptions, w io
 	}
 	if opts.Store != nil && (opts.CheckpointEvery > 0 || opts.Resume) {
 		env.EnableCheckpoints(opts.Store, scenario, opts.CheckpointEvery, opts.Resume)
+	}
+	if opts.Store != nil && opts.UseCache {
+		env.EnableIntermediates(opts.Store, scenario)
 	}
 
 	exps, err := r.Resolve(opts.Names)

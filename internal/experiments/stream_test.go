@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"torhs/internal/fault"
+	"torhs/internal/resultstore"
+)
+
+// renderStreamed is renderAll with the streaming pipeline armed: same
+// study configuration, Stream on, an explicit ring size (0 = default).
+func renderStreamed(t *testing.T, seed int64, workers, ring int) string {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.Scale = 0.02
+	cfg.Clients = 250
+	cfg.TrawlIPs = 12
+	cfg.TrawlSteps = 3
+	cfg.Relays = 300
+	cfg.Workers = workers
+	cfg.Stream = true
+	cfg.WindowRing = ring
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestStreamedStudyByteIdentical is the tentpole equivalence contract:
+// a full study through the streaming pipeline — compact request logs,
+// bounded consensus rings, demand-sized arenas — renders the exact bytes
+// of the materialized pipeline, at every worker count and ring size.
+func TestStreamedStudyByteIdentical(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+
+	ref := renderAll(t, 7, 1) // materialized reference
+	if len(ref) == 0 {
+		t.Fatal("materialized study rendered nothing")
+	}
+	for _, tc := range []struct{ workers, ring int }{
+		{1, 0}, {0, 0}, {4, 1}, {8, 3},
+	} {
+		if got := renderStreamed(t, 7, tc.workers, tc.ring); got != ref {
+			t.Fatalf("streamed study (workers=%d ring=%d) diverged from the materialized render",
+				tc.workers, tc.ring)
+		}
+	}
+}
+
+// TestStreamSharesCacheWithMaterialized pins the nocachekey contract on
+// Config.Stream and Config.WindowRing: a streamed run against a store
+// populated by a materialized run is a pure cache hit (and vice versa),
+// because the two pipelines render byte-identical documents.
+func TestStreamSharesCacheWithMaterialized(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := subsetConfig(5, 0)
+
+	var first bytes.Buffer
+	env1, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Paper().RunStudy(context.Background(), env1, RunOptions{Scenario: "laptop", Store: store}, &first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Executed) == 0 {
+		t.Fatal("materialized seeding run executed nothing")
+	}
+
+	cfg.Stream = true
+	cfg.WindowRing = 2
+	env2, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	res2, err := Paper().RunStudy(context.Background(), env2, RunOptions{Scenario: "laptop", Store: store, UseCache: true}, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Executed) != 0 {
+		t.Fatalf("streamed run re-executed %v despite a warm materialized cache", res2.Executed)
+	}
+	if !reflect.DeepEqual(res2.Cached, Paper().Names()) {
+		t.Fatalf("streamed run served %v from cache, want every experiment", res2.Cached)
+	}
+	if first.String() != second.String() {
+		t.Fatal("streamed cache-served render diverged from the materialized run")
+	}
+}
+
+// TestStreamedStoredRunSpillsIntermediatesAndSurvivesGC: a streamed
+// cache-armed run spills the trawl harvest as a content-addressed
+// intermediate artefact, and a GC pass over the fresh store removes
+// nothing a re-run needs — the cached re-run still serves every
+// experiment byte-identically.
+func TestStreamedStoredRunSpillsIntermediatesAndSurvivesGC(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := subsetConfig(6, 0)
+	cfg.Stream = true
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Scenario: "laptop", Store: store, UseCache: true}
+	var first bytes.Buffer
+	if _, err := Paper().RunStudy(context.Background(), env, opts, &first); err != nil {
+		t.Fatal(err)
+	}
+	spills, err := filepath.Glob(filepath.Join(dir, "intermediates", "*", "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spills) == 0 {
+		t.Fatal("streamed stored run spilled no intermediate artefacts")
+	}
+
+	st, err := store.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 {
+		t.Fatalf("GC removed %d objects from a store with no orphans", st.Removed)
+	}
+
+	env2, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	res, err := Paper().RunStudy(context.Background(), env2, opts, &second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Executed) != 0 {
+		t.Fatalf("post-GC run re-executed %v", res.Executed)
+	}
+	if first.String() != second.String() {
+		t.Fatal("post-GC cached render diverged")
+	}
+}
+
+// TestStreamCrashResumeByteIdentical is the streaming row of the
+// crash-kill matrix: a streamed, checkpointed study is hard-killed at
+// every registered fault site, then resumed (still streaming) over the
+// same store — and the resumed bytes must equal an uninterrupted
+// MATERIALIZED run's, the strongest form of the equivalence contract.
+func TestStreamCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec matrix is not short")
+	}
+	refs := map[string][]byte{} // (selector|workers) -> materialized uninterrupted output
+	reference := func(sel string, workers int) []byte {
+		key := fmt.Sprintf("%s|%d", sel, workers)
+		if ref, ok := refs[key]; ok {
+			return ref
+		}
+		dir := t.TempDir()
+		if code, out := runChild(t, dir, sel, workers, "", false); code != 0 {
+			t.Fatalf("materialized reference (%s workers=%d) exited %d\n%s", sel, workers, code, out)
+		}
+		ref, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[key] = ref
+		return ref
+	}
+	for _, workers := range []int{1, 0} {
+		crashed := 0
+		for _, cell := range matrixCells() {
+			name := fmt.Sprintf("%s/workers=%d", cell.site, workers)
+			dir := t.TempDir()
+			spec := fmt.Sprintf("seed=1; hard; %s=crash@%d", cell.site, cell.at)
+			code, out := runChild(t, dir, cell.sel, workers, spec, false, crashStreamEnv+"=1")
+			switch code {
+			case fault.HardExitCode:
+				crashed++
+			case 0:
+				t.Logf("%s: site not hit (run completed); skipping cell", name)
+				continue
+			default:
+				t.Fatalf("%s: streamed crash child exited %d, want %d\n%s",
+					name, code, fault.HardExitCode, out)
+			}
+			if code, out := runChild(t, dir, cell.sel, workers, "", true, crashStreamEnv+"=1"); code != 0 {
+				t.Fatalf("%s: streamed resume exited %d\n%s", name, code, out)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := reference(cell.sel, workers); !bytes.Equal(got, want) {
+				t.Errorf("%s: resumed streamed output diverged from the materialized uninterrupted run (%d vs %d bytes)",
+					name, len(got), len(want))
+			}
+		}
+		// Same coverage sentinel as the materialized matrix: every site
+		// must actually fire on the streaming pipeline too.
+		if want := len(matrixCells()); crashed != want {
+			t.Errorf("workers=%d: only %d/%d sites crashed the streamed child; matrix lost coverage", workers, crashed, want)
+		}
+	}
+}

@@ -64,6 +64,22 @@ type Config struct {
 	// (below-top rows still appear when labelled). 0 means
 	// DefaultPopularityTopN, the paper's 30.
 	PopularityTopN int
+	// Stream folds the window-consuming kernels online instead of
+	// materializing their full time axis: the tracking sweep consumes
+	// consensus windows through a sliding ring re-derived from seed, the
+	// trawl retires per-directory request logs into compact count
+	// summaries after each fold, and the population generator allocates
+	// in demand-sized arena chunks. Peak live heap becomes a function of
+	// the ring size rather than the window count.
+	//
+	//torhs:nocachekey streamed and materialized runs render byte-identical output (pinned by the streaming equivalence tests), so they deliberately share cache entries
+	Stream bool
+	// WindowRing bounds the streaming pipeline's sliding window ring: at
+	// most this many consensus documents stay live per kernel (<= 0 means
+	// tracking.DefaultWindowRing). Only consulted when Stream is set.
+	//
+	//torhs:nocachekey the ring size changes the working set, never the output bytes
+	WindowRing int
 }
 
 // DefaultPopularityTopN is the paper's Table II head size.
@@ -106,6 +122,7 @@ func ConfigFromSpec(sp scenario.Spec, seed int64) Config {
 		BotFactor:      sp.BotFactor,
 		TrackingDays:   sp.TrackingDays,
 		PopularityTopN: sp.PopularityTopN,
+		Stream:         sp.Stream,
 	}
 }
 
@@ -218,6 +235,24 @@ func (e *Env) runCollectionComparison(ctx context.Context) (*CollectionCompariso
 // which also keys the checkpoint set: two trawls in one study snapshot
 // into disjoint sets ("ckpt-trawl-1", "ckpt-trawl-4").
 func (e *Env) runTrawl(ctx context.Context, seedOffset int64, driveTraffic bool) (*trawl.Harvest, error) {
+	// Intermediate plane: a previous run under the identical cache key
+	// already spilled this harvest — rehydrate it instead of re-running
+	// the fleet (the sim at this offset stays untouched; the trawl was
+	// its only mutator).
+	ints, err := e.intermediates(fmt.Sprintf("int-trawl-%d", seedOffset))
+	if err != nil {
+		return nil, err
+	}
+	if ints != nil {
+		var st trawl.HarvestState
+		ok, err := intGetRetry(ctx, ints, "harvest", &st)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return trawl.HarvestFromState(&st), nil
+		}
+	}
 	sim, err := e.RelaySim(seedOffset)
 	if err != nil {
 		return nil, err
@@ -235,6 +270,7 @@ func (e *Env) runTrawl(ctx context.Context, seedOffset int64, driveTraffic bool)
 	tCfg.Steps = e.cfg.TrawlSteps
 	tCfg.Workers = e.cfg.Workers
 	tCfg.SecretTable = e.studySecretTable()
+	tCfg.CompactLogs = e.cfg.Stream
 	if driveTraffic {
 		tCfg.ClientConfig.Clients = e.cfg.Clients
 	} else {
@@ -255,7 +291,16 @@ func (e *Env) runTrawl(ctx context.Context, seedOffset int64, driveTraffic bool)
 	}
 	start := relaynet.DefaultFleetConfig(e.cfg.Seed).Start.Add(48 * time.Hour)
 	tr.Deploy(sim, start)
-	return tr.Run(ctx, sim, pop, geoDB, start)
+	h, err := tr.Run(ctx, sim, pop, geoDB, start)
+	if err != nil {
+		return nil, err
+	}
+	if ints != nil {
+		if err := intPutRetry(ctx, ints, "harvest", h.State()); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // PrefixCluster is a group of onion addresses sharing a vanity prefix —
@@ -536,20 +581,12 @@ func (e *Env) runTracking(ctx context.Context) (*TrackingResult, error) {
 	if e.cfg.TrackingDays > 0 {
 		scCfg.Days = e.cfg.TrackingDays
 	}
-	sc, err := tracking.BuildScenario(scCfg)
-	if err != nil {
-		return nil, err
-	}
 	tkCfg := tracking.DefaultConfig()
 	tkCfg.Workers = e.cfg.Workers
 	an, err := tracking.NewAnalyzer(tkCfg)
 	if err != nil {
 		return nil, err
 	}
-	// The tracking window is disjoint from the traffic experiments', so
-	// it gets its own memoized table rather than the study-wide one.
-	end := sc.Start.Add(time.Duration(scCfg.Days) * 24 * time.Hour)
-	an.SetSecretTable(e.SecretTable(sc.Start, end))
 	// A typed-nil checkpointer in the interface would defeat the
 	// analyzer's nil check, so only assign when the plane is armed.
 	var ck tracking.Checkpointer
@@ -560,6 +597,30 @@ func (e *Env) runTracking(ctx context.Context) (*TrackingResult, error) {
 	if rck != nil {
 		ck = rck
 	}
+	if e.cfg.Stream {
+		// Streaming path: the sweep pulls consensus windows through a
+		// sliding ring re-derived from seed — the scenario's History is
+		// never materialized, so peak live heap is bounded by the ring.
+		sc, src, err := tracking.NewScenarioSource(scCfg, e.cfg.WindowRing)
+		if err != nil {
+			return nil, err
+		}
+		end := sc.Start.Add(time.Duration(scCfg.Days) * 24 * time.Hour)
+		an.SetSecretTable(e.SecretTable(sc.Start, end))
+		rep, err := an.AnalyzeSource(ctx, src, sc.Target, ck, every, resume)
+		if err != nil {
+			return nil, err
+		}
+		return &TrackingResult{Scenario: sc, Report: rep}, nil
+	}
+	sc, err := tracking.BuildScenario(scCfg)
+	if err != nil {
+		return nil, err
+	}
+	// The tracking window is disjoint from the traffic experiments', so
+	// it gets its own memoized table rather than the study-wide one.
+	end := sc.Start.Add(time.Duration(scCfg.Days) * 24 * time.Hour)
+	an.SetSecretTable(e.SecretTable(sc.Start, end))
 	rep, err := an.AnalyzeCheckpointed(ctx, sc.History, sc.Target, sc.Start, end, ck, every, resume)
 	if err != nil {
 		return nil, err

@@ -25,10 +25,26 @@ type Request struct {
 // lazily on the first aggregate query and maintained incrementally from
 // then on, so the recording hot path (one bulk RecordBatch per driven
 // window per directory) never pays a map operation per request.
+//
+// A log can run in compact mode (NewCompactLog, or Compact on an existing
+// log): raw Request records are folded into the per-ID counts as they
+// arrive and never retained, so the log's footprint is bounded by the
+// number of distinct descriptor IDs instead of the request volume. Every
+// aggregate query (Total, UniqueIDs, FoundFraction, CountsByID, EachCount)
+// returns exactly the same values in either mode; only Requests — the raw
+// arrival-order record — is unavailable (nil) on a compact log. This is
+// the per-window retirement step of the streaming pipeline: request
+// timestamps feed no experiment output, so dropping them preserves
+// byte-identical study renders.
 type RequestLog struct {
 	mu       sync.Mutex
 	requests []Request
 	found    int
+	// compact discards raw requests on arrival; total then carries the
+	// request count that len(requests) carries in raw mode, and perID is
+	// authoritative (always non-nil).
+	compact bool
+	total   int
 	// perID is the lazily built per-descriptor-ID request count; nil
 	// means "not built yet" (rebuilt on demand by countsLocked).
 	perID map[onion.DescriptorID]int
@@ -39,9 +55,49 @@ func NewRequestLog() *RequestLog {
 	return &RequestLog{}
 }
 
+// NewCompactLog returns an empty log in compact mode: requests fold into
+// per-ID counts on arrival and are never retained.
+func NewCompactLog() *RequestLog {
+	return &RequestLog{compact: true, perID: make(map[onion.DescriptorID]int)}
+}
+
+// Compact switches the log to compact mode, folding any raw requests
+// already recorded into the per-ID counts and releasing them. Idempotent.
+func (l *RequestLog) Compact() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactLocked()
+}
+
+// compactLocked folds raw state into compact state. Callers hold l.mu.
+func (l *RequestLog) compactLocked() {
+	if l.compact {
+		return
+	}
+	l.perID = l.countsLocked()
+	l.total = len(l.requests)
+	l.requests = nil
+	l.compact = true
+}
+
+// Compacted reports whether the log runs in compact mode.
+func (l *RequestLog) Compacted() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compact
+}
+
 func (l *RequestLog) record(r Request) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.compact {
+		l.perID[r.DescID]++
+		l.total++
+		if r.Found {
+			l.found++
+		}
+		return
+	}
 	l.requests = append(l.requests, r)
 	if r.Found {
 		l.found++
@@ -66,6 +122,16 @@ func (l *RequestLog) RecordBatch(batch []Request) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.compact {
+		for i := range batch {
+			l.perID[batch[i].DescID]++
+			if batch[i].Found {
+				l.found++
+			}
+		}
+		l.total += len(batch)
+		return
+	}
 	l.requests = append(l.requests, batch...)
 	for i := range batch {
 		if batch[i].Found {
@@ -78,7 +144,7 @@ func (l *RequestLog) RecordBatch(batch []Request) {
 }
 
 // countsLocked returns the per-ID count map, building it on first use.
-// Callers must hold l.mu.
+// Callers must hold l.mu. In compact mode perID is authoritative.
 func (l *RequestLog) countsLocked() map[onion.DescriptorID]int {
 	if l.perID == nil {
 		l.perID = make(map[onion.DescriptorID]int, len(l.requests))
@@ -89,11 +155,19 @@ func (l *RequestLog) countsLocked() map[onion.DescriptorID]int {
 	return l.perID
 }
 
+// totalLocked returns the request count in either mode. Callers hold l.mu.
+func (l *RequestLog) totalLocked() int {
+	if l.compact {
+		return l.total
+	}
+	return len(l.requests)
+}
+
 // Total returns the total number of requests.
 func (l *RequestLog) Total() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.requests)
+	return l.totalLocked()
 }
 
 // UniqueIDs returns the number of distinct descriptor IDs requested.
@@ -108,10 +182,11 @@ func (l *RequestLog) UniqueIDs() int {
 func (l *RequestLog) FoundFraction() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(l.requests) == 0 {
+	total := l.totalLocked()
+	if total == 0 {
 		return 0
 	}
-	return float64(l.found) / float64(len(l.requests))
+	return float64(l.found) / float64(total)
 }
 
 // CountsByID returns a copy of the per-descriptor-ID request counts.
@@ -139,13 +214,48 @@ func (l *RequestLog) EachCount(fn func(id onion.DescriptorID, n int)) {
 	}
 }
 
-// Requests returns a copy of all recorded requests in arrival order.
+// Requests returns a copy of all recorded requests in arrival order, or
+// nil for a compact log (the raw records were retired on arrival).
 func (l *RequestLog) Requests() []Request {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.compact {
+		return nil
+	}
 	out := make([]Request, len(l.requests))
 	copy(out, l.requests)
 	return out
+}
+
+// CompactState returns a copy of the log's aggregate state — the per-ID
+// counts, the total request count, and the found count — in either mode.
+// This is the snapshot form the trawl checkpoints persist for compact
+// harvests: it reconstructs every aggregate query exactly.
+func (l *RequestLog) CompactState() (counts map[onion.DescriptorID]int, total, found int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	src := l.countsLocked()
+	counts = make(map[onion.DescriptorID]int, len(src))
+	for id, n := range src {
+		counts[id] = n
+	}
+	return counts, l.totalLocked(), l.found
+}
+
+// RestoreCompact replaces the log's contents with the given compact
+// aggregate state (the log switches to compact mode). The counts map is
+// copied; the caller keeps ownership of its argument.
+func (l *RequestLog) RestoreCompact(counts map[onion.DescriptorID]int, total, found int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.requests = nil
+	l.compact = true
+	l.total = total
+	l.found = found
+	l.perID = make(map[onion.DescriptorID]int, len(counts))
+	for id, n := range counts {
+		l.perID[id] = n
+	}
 }
 
 // MergeAll folds every log in others into l in slice order, with one
@@ -154,11 +264,20 @@ func (l *RequestLog) Requests() []Request {
 // per-shard directory logs land in shard-then-directory order, and the
 // lazy per-ID map is invalidated once instead of once per source. The
 // source logs are left unchanged.
+//
+// Compact sources fold commutatively — per-ID count sums — which is
+// order-insensitive by construction, so merging compact logs preserves
+// the shard-merge determinism contract. If l or any source is compact,
+// l ends up compact (raw records cannot be reconstructed from counts).
 func (l *RequestLog) MergeAll(others []*RequestLog) {
 	need := 0
+	anyCompact := false
 	for _, o := range others {
 		if o != nil && o != l {
 			need += o.Total()
+			if o.Compacted() {
+				anyCompact = true
+			}
 		}
 	}
 	if need == 0 {
@@ -167,28 +286,59 @@ func (l *RequestLog) MergeAll(others []*RequestLog) {
 	// Snapshot every source under its own lock only, then append under
 	// l's lock only — the two locks are never held together (same
 	// no-ordering-to-deadlock-on discipline as Merge).
-	scratch := make([]Request, 0, need)
-	found := 0
+	var scratch []Request
+	var counts map[onion.DescriptorID]int
+	if anyCompact {
+		counts = make(map[onion.DescriptorID]int)
+	} else {
+		scratch = make([]Request, 0, need)
+	}
+	total, found := 0, 0
 	for _, o := range others {
 		if o == nil || o == l {
 			continue
 		}
 		o.mu.Lock()
-		scratch = append(scratch, o.requests...)
+		if anyCompact {
+			for id, n := range o.countsLocked() {
+				counts[id] += n
+			}
+			total += o.totalLocked()
+		} else {
+			scratch = append(scratch, o.requests...)
+		}
 		found += o.found
 		o.mu.Unlock()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if anyCompact || l.compact {
+		l.compactLocked()
+		for id, n := range counts {
+			l.perID[id] += n
+		}
+		for i := range scratch {
+			l.perID[scratch[i].DescID]++
+		}
+		l.total += total + len(scratch)
+		l.found += found
+		return
+	}
 	l.requests = append(l.requests, scratch...)
 	l.found += found
 	l.perID = nil // cheaper to rebuild once than to fold map into map
 }
 
 // Merge folds other's requests into l with one bulk append, taking each
-// log's lock exactly once. The other log is left unchanged.
+// log's lock exactly once. The other log is left unchanged. Compact
+// sources (or a compact destination) fold per-ID counts instead, leaving
+// l compact — see MergeAll.
 func (l *RequestLog) Merge(other *RequestLog) {
 	if other == nil || other == l {
+		return
+	}
+	if other.Compacted() || l.Compacted() {
+		l.MergeAll([]*RequestLog{other})
 		return
 	}
 	// Snapshot under other's lock only, so the two locks are never held

@@ -57,8 +57,16 @@ func Generate(ctx context.Context, cfg Config) (*Population, error) {
 			byAddr:   make(map[onion.Address]*Service, estimate),
 		},
 	}
-	g.svcArena.chunk = estimate
-	g.pageArena.chunk = estimate
+	// Arena chunks are demand-sized: a streaming consumer that only
+	// touches a prefix of the population should not force one
+	// full-population block allocation up front. Chunks are allocated on
+	// use, so the unconsumed tail costs nothing beyond its own blocks.
+	chunk := estimate
+	if cfg.DemandHint > 0 && cfg.DemandHint < chunk {
+		chunk = cfg.DemandHint
+	}
+	g.svcArena.chunk = chunk
+	g.pageArena.chunk = chunk
 	g.miscPorts = g.pickMiscPorts()
 	// Phase order matters: the head must resolve addresses (first
 	// deriveIdentities) before the clones can mine the Silk Road vanity

@@ -55,6 +55,9 @@ type Sim struct {
 	relays  []*relay.Relay
 	history *consensus.History
 	nextID  relay.ID
+	// day is the next day StepDay will simulate (the day cursor the
+	// streaming consumers advance one window at a time).
+	day int
 }
 
 // NewSim constructs the simulation and bootstraps the initial fleet with
@@ -142,34 +145,64 @@ func (s *Sim) RNG() *rand.Rand { return s.rng }
 // consensus ValidAfter instant for that day.
 type DayHook func(day int, now time.Time)
 
+// StepDay advances the simulation by exactly one day — growth toward
+// FinalRelays, churn, the day hook — and returns that day's published
+// consensus without archiving it. This is the streaming window source:
+// callers that fold documents online (the tracking sweep's sliding ring)
+// step the simulation one consensus at a time and let each document go
+// out of scope after its fold, instead of materializing the full history.
+// Run is implemented on top of StepDay, so for a fixed seed the stepped
+// document sequence is byte-identical to the archived one. Returns an
+// error once all cfg.Days days have been stepped.
+func (s *Sim) StepDay(hook DayHook) (*consensus.Document, error) {
+	cfg := s.cfg
+	if s.day >= cfg.Days {
+		return nil, fmt.Errorf("relaynet: all %d days already stepped", cfg.Days)
+	}
+	day := s.day
+	now := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
+
+	// Linear growth toward FinalRelays.
+	target := cfg.InitialRelays
+	if cfg.Days > 1 {
+		target += (cfg.FinalRelays - cfg.InitialRelays) * day / (cfg.Days - 1)
+	}
+	for s.liveCount() < target {
+		s.addRelay(now.Add(-time.Duration(s.rng.Intn(48)) * time.Hour))
+	}
+
+	// Churn: replace a random fraction of live relays.
+	nChurn := int(float64(s.liveCount()) * cfg.DailyChurn)
+	for i := 0; i < nChurn; i++ {
+		s.stopRandomLive()
+		s.addRelay(now.Add(-time.Duration(s.rng.Intn(12)) * time.Hour))
+	}
+
+	if hook != nil {
+		hook(day, now)
+	}
+	s.day++
+	return s.auth.Publish(now), nil
+}
+
+// Day returns the next day StepDay will simulate (0 before the first
+// step, cfg.Days once the run is exhausted).
+func (s *Sim) Day() int { return s.day }
+
+// Days returns the configured number of daily consensuses.
+func (s *Sim) Days() int { return s.cfg.Days }
+
 // Run publishes one consensus per day for cfg.Days days, applying growth
 // and churn, and invoking hook (if non-nil) before each publication.
 // It returns the accumulated history.
 func (s *Sim) Run(hook DayHook) (*consensus.History, error) {
-	cfg := s.cfg
-	for day := 0; day < cfg.Days; day++ {
-		now := cfg.Start.Add(time.Duration(day) * 24 * time.Hour)
-
-		// Linear growth toward FinalRelays.
-		target := cfg.InitialRelays
-		if cfg.Days > 1 {
-			target += (cfg.FinalRelays - cfg.InitialRelays) * day / (cfg.Days - 1)
+	for s.day < s.cfg.Days {
+		day := s.day
+		doc, err := s.StepDay(hook)
+		if err != nil {
+			return nil, err
 		}
-		for s.liveCount() < target {
-			s.addRelay(now.Add(-time.Duration(s.rng.Intn(48)) * time.Hour))
-		}
-
-		// Churn: replace a random fraction of live relays.
-		nChurn := int(float64(s.liveCount()) * cfg.DailyChurn)
-		for i := 0; i < nChurn; i++ {
-			s.stopRandomLive()
-			s.addRelay(now.Add(-time.Duration(s.rng.Intn(12)) * time.Hour))
-		}
-
-		if hook != nil {
-			hook(day, now)
-		}
-		if err := s.history.Append(s.auth.Publish(now)); err != nil {
+		if err := s.history.Append(doc); err != nil {
 			return nil, fmt.Errorf("relaynet: day %d: %w", day, err)
 		}
 	}

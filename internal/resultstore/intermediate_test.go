@@ -1,0 +1,154 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// intArtefact stands in for a pipeline intermediate (a harvest state).
+type intArtefact struct {
+	Name   string
+	Counts map[string]int
+	Ratio  float64
+}
+
+func testArtefact() *intArtefact {
+	return &intArtefact{
+		Name:   "harvest",
+		Counts: map[string]int{"a": 3, "b": 7},
+		Ratio:  0.104,
+	}
+}
+
+func TestIntermediatePutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Intermediates(testKey("trawl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var miss intArtefact
+	if ok, err := set.Get("harvest", &miss); err != nil || ok {
+		t.Fatalf("Get on empty set = ok=%v err=%v, want clean miss", ok, err)
+	}
+	want := testArtefact()
+	if err := set.Put("harvest", want); err != nil {
+		t.Fatal(err)
+	}
+	var got intArtefact
+	if ok, err := set.Get("harvest", &got); err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(want, &got) {
+		t.Fatalf("artefact did not round-trip: %#v vs %#v", want, got)
+	}
+
+	// Put replaces atomically.
+	want.Ratio = 0.5
+	if err := set.Put("harvest", want); err != nil {
+		t.Fatal(err)
+	}
+	var again intArtefact
+	if ok, err := set.Get("harvest", &again); err != nil || !ok || again.Ratio != 0.5 {
+		t.Fatalf("re-Put not visible: ok=%v err=%v ratio=%v", ok, err, again.Ratio)
+	}
+
+	// Clear empties the whole set.
+	if err := set.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := set.Get("harvest", &got); err != nil || ok {
+		t.Fatalf("Get after Clear = ok=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestIntermediateStagesAreIndependent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Intermediates(testKey("trawl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := testArtefact(), testArtefact()
+	b.Name = "other"
+	if err := set.Put("stage-a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Put("stage-b", b); err != nil {
+		t.Fatal(err)
+	}
+	var got intArtefact
+	if ok, _ := set.Get("stage-b", &got); !ok || got.Name != "other" {
+		t.Fatalf("stage-b = %+v ok=%v", got, ok)
+	}
+
+	// Different cache keys see different sets.
+	other, err := s.Intermediates(testKey("other-exp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := other.Get("stage-a", &got); err != nil || ok {
+		t.Fatalf("foreign key read a stage (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestIntermediateCorruptReadsAsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Intermediates(testKey("trawl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Put("harvest", testArtefact()); err != nil {
+		t.Fatal(err)
+	}
+	path := set.stagePath("harvest")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the integrity hash no longer matches.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got intArtefact
+	if ok, err := set.Get("harvest", &got); err != nil || ok {
+		t.Fatalf("corrupt artefact Get = ok=%v err=%v, want quarantined miss", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt artefact still in place; want quarantined")
+	}
+	ents, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine empty after corrupt read (err=%v)", err)
+	}
+}
+
+func TestIntermediateStageValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Intermediates(testKey("trawl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"", "a/b", ".."} {
+		if err := set.Put(stage, testArtefact()); err == nil {
+			t.Errorf("Put(%q) accepted an unsafe stage name", stage)
+		}
+		var got intArtefact
+		if _, err := set.Get(stage, &got); err == nil {
+			t.Errorf("Get(%q) accepted an unsafe stage name", stage)
+		}
+	}
+}

@@ -30,6 +30,12 @@ const (
 	// BotnetHeavy skews the population towards Skynet bots and C&C
 	// traffic — the Section III census workload.
 	BotnetHeavy = "botnet-heavy"
+	// PaperScaleX100 stretches the paper's measurement a hundredfold
+	// along the time axis — 100x the trawl rotation steps and a
+	// 100x-longer tracking window — and runs the streaming pipeline so
+	// peak live heap stays bounded by the sliding window ring rather
+	// than growing with the axis.
+	PaperScaleX100 = "paper-scale-x100"
 )
 
 // Spec is one declarative workload: everything a study needs to size
@@ -61,6 +67,11 @@ type Spec struct {
 	// (below-top rows still appear when labelled). 0 = the experiment
 	// default (the paper's 30).
 	PopularityTopN int
+	// Stream runs the window-consuming kernels as a streaming pipeline
+	// with a bounded sliding ring instead of materializing their full
+	// time axis. Output bytes are identical either way; only the peak
+	// working set changes.
+	Stream bool
 }
 
 // TrackingWindow returns the Section VII history length in days: the
@@ -140,6 +151,18 @@ func Presets() []Spec {
 			Relays:         2800,
 			TrackingDays:   240,
 			PopularityTopN: 30,
+		},
+		{
+			Name:           PaperScaleX100,
+			Description:    "paper landscape stretched 100x along the time axis; streaming pipeline, bounded RSS",
+			Scale:          1.0,
+			Clients:        4000,
+			TrawlIPs:       58,
+			TrawlSteps:     1200,
+			Relays:         1400,
+			TrackingDays:   12000,
+			PopularityTopN: 30,
+			Stream:         true,
 		},
 		{
 			Name:           BotnetHeavy,

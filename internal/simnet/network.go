@@ -30,6 +30,11 @@ import (
 type Network struct {
 	rng *rand.Rand
 
+	// doc is the single consensus snapshot this network simulates; the
+	// network *is* that window, so the document lives exactly as long as
+	// the per-step network does (the trawl drops both together).
+	//
+	//torhs:retained the network's own consensus window; dropped with the per-step network
 	doc        *consensus.Document
 	ring       *hsdir.Ring
 	ringFPs    []onion.Fingerprint // ring.Fingerprints(), cached
@@ -85,6 +90,11 @@ type Config struct {
 	// index never recompute the same secret parts. Nil means the network
 	// builds a table per driven window on its own.
 	SecretTable *onion.SecretIDTable
+	// CompactLogs creates every per-directory request log in compact
+	// mode: raw requests retire into per-descriptor-ID counts on arrival
+	// (the streaming pipeline's per-window retirement). All aggregate
+	// log queries are unchanged; only raw Requests() reads become nil.
+	CompactLogs bool
 }
 
 // DefaultConfig returns a client population sized for tests and examples.
@@ -135,6 +145,9 @@ func NewNetwork(doc *consensus.Document, db *geo.DB, cfg Config) (*Network, erro
 	n.dirs = make([]*hsdir.Directory, len(n.ringFPs))
 	for i, fp := range n.ringFPs {
 		n.dirs[i] = hsdir.NewDirectory(fp, 24*time.Hour)
+		if cfg.CompactLogs {
+			n.dirs[i].Log().Compact()
+		}
 	}
 	if cfg.WeightedGuards {
 		weights := make([]int, len(guards))
